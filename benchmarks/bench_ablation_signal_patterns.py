@@ -1,0 +1,58 @@
+"""Ablation: SWA bound vs pattern-of-signal-transitions bound ([90]).
+
+The Section 5.1 future-work metric, implemented and compared: the pattern
+rule admits a state-transition only if its toggling (line, direction) set
+is a subset of one observed functionally.  It therefore implies the SWA
+bound *and* excludes functionally impossible signal transitions -- the
+slow-path overtesting the SWA metric alone cannot rule out -- at the cost
+of accepting fewer cycles and (typically) less coverage.
+"""
+
+import random
+
+from repro.circuits.benchmarks import get_circuit
+from repro.core.builtin_gen import BuiltinGenConfig, BuiltinGenerator
+from repro.core.signal_patterns import FunctionalPatternBank
+from repro.faults.collapse import collapse_transition
+from repro.faults.lists import all_transition_faults
+
+
+def run_comparison():
+    circuit = get_circuit("s298")
+    faults = collapse_transition(circuit, all_transition_faults(circuit))
+    tpg_rng = random.Random(17)
+    functional = [
+        [[tpg_rng.randint(0, 1) for _ in circuit.inputs] for _ in range(80)]
+        for _ in range(6)
+    ]
+    bank = FunctionalPatternBank.collect(circuit, [0] * 14, functional)
+    swa_func = 0.0
+    from repro.logic.simulator import simulate_sequence
+
+    for seq in functional:
+        res = simulate_sequence(circuit, [0] * 14, seq, keep_line_values=False)
+        swa_func = max(swa_func, res.peak_switching)
+    config = BuiltinGenConfig(segment_length=100, time_limit=12, rng_seed=6)
+    swa_run = BuiltinGenerator(circuit, faults, swa_func, config=config).run()
+    pattern_run = BuiltinGenerator(
+        circuit, faults, swa_func, config=config, pattern_bank=bank
+    ).run()
+    return swa_func, swa_run, pattern_run
+
+
+def test_ablation_signal_patterns(benchmark):
+    swa_func, swa_run, pattern_run = benchmark.pedantic(
+        run_comparison, rounds=1, iterations=1
+    )
+    print()
+    print(f"Ablation: switching-activity bound vs signal-transition patterns")
+    print(f"functional peak SWA: {swa_func:.2f}%")
+    for name, run in (("SWA bound", swa_run), ("pattern bound", pattern_run)):
+        print(
+            f"{name:14s} FC {run.coverage:6.2f}%  tests {run.n_tests:5d}  "
+            f"peak SWA {run.peak_swa:6.2f}%"
+        )
+    # The pattern rule implies the SWA bound.
+    assert pattern_run.peak_swa <= swa_func + 1e-9
+    # It is strictly more restrictive, so coverage cannot exceed by much.
+    assert pattern_run.coverage <= swa_run.coverage + 5.0

@@ -1,0 +1,61 @@
+"""Regenerates the Fig 1.1-1.7 example behaviours.
+
+* Figs 1.3/1.4: the exact example tests are robust tests for the shown
+  transition / path delay faults;
+* Fig 1.5: the off-path falling transition downgrades the test to
+  non-robust;
+* Figs 1.6/1.7: a non-robust test for a path delay fault that misses a
+  transition fault on the path -- found on a benchmark circuit, since the
+  phenomenon (opposite-parity reconvergence) is what motivates the TPDF
+  model.
+"""
+
+from repro.experiments.figures import (
+    fig_1_3_circuit,
+    fig_1_4_circuit,
+    find_nonrobust_miss,
+)
+from repro.faults.models import Path, PathDelayFault, RISE
+from repro.faults.pdfsim import ROBUST, classify_sensitization
+from repro.logic.simulator import simulate_comb
+
+
+def run_figures():
+    c3 = fig_1_3_circuit()
+    c4 = fig_1_4_circuit()
+    results = {}
+    # Fig 1.4: robust test for a-c-e-g.
+    f1 = simulate_comb(c4, {"a": 0, "b": 0, "d": 1, "f": 0})
+    f2 = simulate_comb(c4, {"a": 1, "b": 0, "d": 1, "f": 0})
+    fault = PathDelayFault(Path(lines=("a", "c", "e", "g")), RISE)
+    results["fig1.4"] = classify_sensitization(c4, fault, f1, f2)
+    # Fig 1.5: non-robust variant.
+    f1 = simulate_comb(c4, {"a": 0, "b": 0, "d": 1, "f": 1})
+    f2 = simulate_comb(c4, {"a": 1, "b": 0, "d": 1, "f": 0})
+    results["fig1.5"] = classify_sensitization(c4, fault, f1, f2)
+    # Fig 1.3: launch propagates along a-c-e.
+    p1 = simulate_comb(c3, {"a": 0, "b": 0, "d": 1})
+    p2 = simulate_comb(c3, {"a": 1, "b": 0, "d": 1})
+    results["fig1.3"] = (p1["e"], p2["e"])
+    # Figs 1.6/1.7: non-robust test missing a transition fault.
+    from repro.circuits.benchmarks import get_circuit
+
+    results["fig1.6/1.7"] = find_nonrobust_miss(
+        get_circuit("s298"), max_paths=60, max_tests=60
+    )
+    return results
+
+
+def test_fig_1_examples(benchmark):
+    results = benchmark.pedantic(run_figures, rounds=1, iterations=1)
+    print()
+    print(f"Fig 1.3 output transition e: {results['fig1.3'][0]}->{results['fig1.3'][1]}")
+    print(f"Fig 1.4 test classification: {results['fig1.4']}")
+    print(f"Fig 1.5 test classification: {results['fig1.5']}")
+    fault, test, missed = results["fig1.6/1.7"]
+    print(f"Fig 1.6/1.7 phenomenon: path {fault.path} has a non-robust test")
+    print(f"  that misses constituent transition fault [{missed}]")
+    assert results["fig1.3"] == (0, 1)
+    assert results["fig1.4"] == ROBUST
+    assert results["fig1.5"] != ROBUST and results["fig1.5"] is not None
+    assert results["fig1.6/1.7"] is not None

@@ -1,0 +1,44 @@
+"""Regenerates Figs 1.8-1.10: scan insertion and test-application waveforms.
+
+Structural scan insertion on a benchmark circuit plus the skewed-load vs
+broadside scan-enable timing comparison -- the practical argument for
+broadside testing (Section 1.3).
+"""
+
+from repro.circuits.benchmarks import get_circuit
+from repro.circuits.scan import (
+    ScanChains,
+    broadside_waveform,
+    insert_scan,
+    se_transition_at_speed,
+    skewed_load_waveform,
+)
+
+
+def run_scan_flow(circuit_name: str):
+    circuit = get_circuit(circuit_name)
+    chains = ScanChains.partition(circuit)
+    scanned = insert_scan(circuit, chains)
+    return circuit, chains, scanned
+
+
+def test_fig_1_scan(benchmark):
+    circuit, chains, scanned = benchmark.pedantic(
+        run_scan_flow, args=("s298",), rounds=1, iterations=1
+    )
+    print()
+    print(f"Fig 1.8  scan insertion: {circuit} -> {scanned}")
+    print(f"         {chains.num_chains} chain(s), Lsc = {chains.max_length}")
+    skew = skewed_load_waveform(chains.max_length)
+    broad = broadside_waveform(chains.max_length)
+    print("Fig 1.9  skewed-load: SE change at speed =", se_transition_at_speed(skew))
+    print("Fig 1.10 broadside:   SE change at speed =", se_transition_at_speed(broad))
+    # Render compact waveforms.
+    for name, wf in (("skewed-load", skew), ("broadside", broad)):
+        se_row = "".join(str(e.se) for e in sorted(wf, key=lambda e: e.cycle))
+        ph_row = "".join(e.phase[0].upper() for e in sorted(wf, key=lambda e: e.cycle))
+        print(f"  {name:12s} SE:    {se_row}")
+        print(f"  {name:12s} phase: {ph_row}   (S=shift L=launch C=capture)")
+    assert se_transition_at_speed(skew) is True
+    assert se_transition_at_speed(broad) is False
+    assert scanned.num_gates == circuit.num_gates + 1 + 3 * len(circuit.flops)

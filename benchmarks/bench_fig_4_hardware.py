@@ -1,0 +1,59 @@
+"""Regenerates Figs 4.3-4.8 and 4.10-4.13: the BIST hardware structures.
+
+* Fig 4.3/4.4: LFSR maximal period and MISR compaction;
+* Fig 4.6/4.11: the apply / hold-enable signal taps;
+* Fig 4.7 vs 4.8: the reference [73] TPG against the developed fixed-LFSR
+  TPG -- the developed structure's flop budget does not grow with N_PI;
+* Fig 4.10/4.12/4.13: state-holding hardware sizing.
+"""
+
+from repro.bist.counters import ClockCycleCounter, SetSelector
+from repro.bist.lfsr import Lfsr, signature_of
+from repro.circuits.benchmarks import get_circuit
+from repro.experiments.figures import tpg_summaries
+
+
+def run_hardware_demo():
+    results = {}
+    lfsr = Lfsr(n=10, seed=1)
+    results["lfsr_period"] = lfsr.period()
+    results["misr_sig"] = signature_of([[1, 0, 1], [0, 1, 1]], 16)
+    results["tpg"] = {
+        name: tpg_summaries(get_circuit(name)) for name in ("s298", "wb_dma")
+    }
+    counter = ClockCycleCounter.for_length(64, q=1, h=2)
+    apply_trace, hold_trace = [], []
+    for _ in range(8):
+        apply_trace.append(counter.apply_signal)
+        hold_trace.append(counter.hold_enable)
+        counter.tick()
+    results["apply"] = apply_trace
+    results["hold"] = hold_trace
+    results["selector"] = SetSelector(n_sets=3)
+    return results
+
+
+def test_fig_4_hardware(benchmark):
+    results = benchmark.pedantic(run_hardware_demo, rounds=1, iterations=1)
+    print()
+    print(f"Fig 4.3  10-stage LFSR period: {results['lfsr_period']} (= 2^10 - 1)")
+    print(f"Fig 4.4  MISR signature of a 2-cycle response: 0x{results['misr_sig']:04x}")
+    print("Fig 4.7/4.8  TPG structures (flops = LFSR + shift register):")
+    for name, summaries in results["tpg"].items():
+        for s in summaries:
+            flops = s.n_lfsr + s.n_register_bits
+            print(
+                f"  {name:8s} {s.style:14s} LFSR {s.n_lfsr:4d}  SR {s.n_register_bits:4d}"
+                f"  total flops {flops:4d}  AND {s.n_and_gates}  OR {s.n_or_gates}"
+            )
+    print(f"Fig 4.6   apply signal (q=1): {results['apply']}")
+    print(f"Fig 4.11  hold enable  (h=2): {results['hold']}")
+    print(f"Fig 4.13  set selector one-hot: {results['selector'].one_hot()}")
+    assert results["lfsr_period"] == 1023
+    assert results["apply"] == [1, 0, 1, 0, 1, 0, 1, 0]
+    assert results["hold"] == [1, 0, 0, 0, 1, 0, 0, 0]
+    # The developed TPG beats [73] on the wide-interface circuit.
+    wide = results["tpg"]["wb_dma"]
+    ref = next(s for s in wide if s.style == "reference[73]")
+    dev = next(s for s in wide if s.style == "developed")
+    assert dev.n_lfsr + dev.n_register_bits < ref.n_lfsr

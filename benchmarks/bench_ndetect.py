@@ -1,0 +1,31 @@
+"""N-detection profile of the built-in generated test set ([60], §4.1).
+
+One of the paper's arguments for built-in generation: the sheer number of
+on-chip tests detects each fault many times, improving un-modelled defect
+coverage.  The bench reports n-detection coverage for several n.
+"""
+
+from repro.circuits.benchmarks import get_circuit
+from repro.core.builtin_gen import BuiltinGenConfig, BuiltinGenerator
+from repro.faults.collapse import collapse_transition
+from repro.faults.lists import all_transition_faults
+from repro.faults.ndetect import n_detect_profile
+
+
+def run_profile():
+    circuit = get_circuit("s298")
+    faults = collapse_transition(circuit, all_transition_faults(circuit))
+    config = BuiltinGenConfig(segment_length=150, time_limit=15, rng_seed=8)
+    result = BuiltinGenerator(circuit, faults, None, config=config).run()
+    profile = n_detect_profile(circuit, result.tests, faults)
+    return result, profile
+
+
+def test_ndetect_profile(benchmark):
+    result, profile = benchmark.pedantic(run_profile, rounds=1, iterations=1)
+    print()
+    print(f"n-detection with {result.n_tests} built-in tests:")
+    for n, count in profile.histogram((1, 2, 5, 10, 50)).items():
+        print(f"  >= {n:3d} detections: {count:4d} faults ({profile.coverage(n):.2f}%)")
+    # Many detected faults are detected multiple times.
+    assert profile.n_detected(5) >= 0.5 * profile.n_detected(1)

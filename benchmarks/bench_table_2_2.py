@@ -1,0 +1,36 @@
+"""Regenerates Table 2.2: TPDF test generation, longest paths first.
+
+Workload: larger circuits where paths are taken from the longest down
+until a target number of detected faults is reached (the paper used 1000;
+scaled here).
+"""
+
+from repro.atpg.tpdf import DETECTED
+from repro.experiments.tables2 import render_table, run_chapter2
+
+CIRCUITS = ("s526", "s641")
+
+
+def test_table_2_2(benchmark):
+    runs = benchmark.pedantic(
+        run_chapter2,
+        args=(CIRCUITS,),
+        kwargs={"mode": "longest", "min_detected": 8, "max_faults": 300},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_table("2.2", runs))
+    # Longest-path TPDFs are overwhelmingly undetectable (the paper's
+    # large circuits show the same: e.g. s13207 detects 1244 of 735800);
+    # require progress, not a fixed count.
+    assert any(run.report.count(DETECTED) >= 1 for run in runs)
+    from repro.atpg.tpdf import UNDETECTABLE
+
+    for run in runs:
+        classified = run.report.count(DETECTED) + run.report.count(UNDETECTABLE)
+        # The longest paths carry the hardest faults, so with the scaled
+        # branch-and-bound budget a noticeable abort fraction is expected
+        # (the paper's Table 2.2 shows up to ~8% aborts even with minutes
+        # per fault); still require a clear classified majority.
+        assert classified >= 0.6 * run.n_faults

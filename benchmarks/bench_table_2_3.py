@@ -1,0 +1,29 @@
+"""Regenerates Table 2.3: detected TPDFs per sub-procedure (all paths).
+
+Shape claim: the cheap sub-procedures (fault simulation of the
+transition-fault tests + the dynamic compaction heuristic) account for the
+bulk of detections; branch and bound only mops up.
+"""
+
+from repro.atpg.tpdf import SUB_BRANCH_BOUND, SUB_FSIM, SUB_HEURISTIC
+from repro.experiments.tables2 import render_table, run_chapter2
+
+CIRCUITS = ("s27", "s298", "s344")
+
+
+def test_table_2_3(benchmark):
+    runs = benchmark.pedantic(
+        run_chapter2,
+        args=(CIRCUITS,),
+        kwargs={"mode": "all", "max_faults": 200},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_table("2.3", runs))
+    cheap = sum(
+        r.report.detected_by(SUB_FSIM) + r.report.detected_by(SUB_HEURISTIC)
+        for r in runs
+    )
+    bnb = sum(r.report.detected_by(SUB_BRANCH_BOUND) for r in runs)
+    assert cheap >= bnb

@@ -1,0 +1,23 @@
+"""Regenerates Table 2.4: detected TPDFs per sub-procedure (longest first).
+
+Shape claim (paper Table 2.4): on the longest-path workload the
+branch-and-bound procedure contributes a much larger share than on the
+all-paths workload, because the surviving faults are the hard ones.
+"""
+
+from repro.experiments.tables2 import render_table, run_chapter2
+
+CIRCUITS = ("s526", "s641")
+
+
+def test_table_2_4(benchmark):
+    runs = benchmark.pedantic(
+        run_chapter2,
+        args=(CIRCUITS,),
+        kwargs={"mode": "longest", "min_detected": 8, "max_faults": 300},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_table("2.4", runs))
+    assert all(run.report.prep_upper_bound <= run.n_faults for run in runs)

@@ -1,0 +1,25 @@
+"""Regenerates Table 2.5: run time per sub-procedure (all paths).
+
+Shape claim: preprocessing and fault simulation run in a small fraction of
+the branch-and-bound time while classifying most faults.
+"""
+
+from repro.atpg.tpdf import SUB_FSIM, SUB_PREPROCESS
+from repro.experiments.tables2 import render_table, run_chapter2
+
+CIRCUITS = ("s27", "s298", "s344")
+
+
+def test_table_2_5(benchmark):
+    runs = benchmark.pedantic(
+        run_chapter2,
+        args=(CIRCUITS,),
+        kwargs={"mode": "all", "max_faults": 200},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_table("2.5", runs))
+    for run in runs:
+        assert run.report.sub_times[SUB_PREPROCESS] >= 0.0
+        assert run.report.sub_times[SUB_FSIM] >= 0.0

@@ -1,0 +1,18 @@
+"""Regenerates Table 2.6: run time per sub-procedure (longest first)."""
+
+from repro.experiments.tables2 import render_table, run_chapter2
+
+CIRCUITS = ("s526", "s641")
+
+
+def test_table_2_6(benchmark):
+    runs = benchmark.pedantic(
+        run_chapter2,
+        args=(CIRCUITS,),
+        kwargs={"mode": "longest", "min_detected": 8, "max_faults": 300},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_table("2.6", runs))
+    assert all(run.report.total_time > 0 for run in runs)

@@ -1,0 +1,33 @@
+"""Regenerates Table 3.2: Target_PDF size before/after recalculation.
+
+Shape claim: for many circuits the final size exceeds the original --
+the procedure absorbs additional faults at least as critical as the
+selected ones under their input necessary assignments.
+"""
+
+from repro.experiments.format import render
+from repro.experiments.tables3 import table_3_2_rows
+
+CIRCUITS = ("s298", "s344")
+NS = (3, 6)
+
+
+def test_table_3_2(benchmark):
+    rows = benchmark.pedantic(
+        table_3_2_rows,
+        kwargs={"circuits": CIRCUITS, "ns": NS, "closure_scan": 16},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(
+        render(
+            "Table 3.2  Path group size comparison",
+            ["Circuit", "row"] + [str(n) for n in NS],
+            rows,
+        )
+    )
+    # final >= original for every (circuit, N) cell.
+    for original, final in zip(rows[::2], rows[1::2]):
+        for n in NS:
+            assert final[str(n)] >= original[str(n)]

@@ -1,0 +1,31 @@
+"""Regenerates Table 3.3: faults unique to one selection method.
+
+Shape claim: the refined and traditional selections differ for at least
+some circuits and N values (the count is small but often non-zero).
+"""
+
+from repro.experiments.format import render
+from repro.experiments.tables3 import table_3_3_rows
+
+CIRCUITS = ("s298", "s344")
+NS = (3, 6)
+
+
+def test_table_3_3(benchmark):
+    rows = benchmark.pedantic(
+        table_3_3_rows,
+        kwargs={"circuits": CIRCUITS, "ns": NS, "closure_scan": 16},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(
+        render(
+            "Table 3.3  Number of different path delay faults",
+            ["Circuit"] + [str(n) for n in NS],
+            rows,
+        )
+    )
+    for row in rows:
+        for n in NS:
+            assert row[str(n)] >= 0

@@ -1,0 +1,31 @@
+"""Regenerates Table 3.4: original / final / after-TG path delays.
+
+Shape claims (paper Table 3.4): for every fault,
+original >= final >= after-TG, and ``diff`` expressed in inverter ("unit")
+delays is on the order of a few gate delays.
+"""
+
+from repro.experiments.format import render
+from repro.experiments.tables3 import table_3_4_rows
+
+
+def test_table_3_4(benchmark):
+    rows = benchmark.pedantic(
+        table_3_4_rows,
+        kwargs={"circuit_name": "s298", "n": 6, "max_faults": 6},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(
+        render(
+            "Table 3.4  Path delay comparison of s298",
+            ["fault", "original", "final", "after TG", "diff", "diff_unit"],
+            rows,
+        )
+    )
+    assert rows
+    for row in rows:
+        assert row["after TG"] <= row["final"] + 1e-9
+        assert row["final"] <= row["original"] + 1e-9
+        assert row["diff_unit"] >= 0

@@ -1,0 +1,32 @@
+"""Regenerates Table 4.1: primary input subsequence selection.
+
+A TPG trace's per-cycle switching activity with the violating cycles
+marked, plus the admissible subsequences P(k..w-1) the construction
+procedure may use (the paper's P0,j / Pj+1,u / Pu+1,L example).
+"""
+
+from repro.experiments.format import render
+from repro.experiments.tables4 import table_4_1_rows
+
+
+def test_table_4_1(benchmark):
+    rows, subsequences = benchmark.pedantic(
+        table_4_1_rows,
+        kwargs={"target_name": "s298", "length": 20},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(
+        render(
+            "Table 4.1  Example of primary input subsequence selection",
+            ["Clock cycle i", "s(i)", "SWA(i)", "violation"],
+            rows,
+        )
+    )
+    print(f"admissible subsequences P(k..w-1): {subsequences}")
+    assert subsequences
+    # Violating cycles are exactly the ones excluded from subsequences.
+    violating = {r["Clock cycle i"] for r in rows if r["violation"]}
+    for k, w in subsequences:
+        assert not any(k < i < w and i in violating for i in range(k, w))

@@ -1,0 +1,27 @@
+"""Regenerates Table 4.2: benchmark circuit parameters.
+
+N_PO, N_PI, the number of cube-specified inputs N_SP (= biasing gates
+inserted against repeated synchronization), and the state-variable count.
+"""
+
+from repro.experiments.format import render
+from repro.experiments.tables4 import table_4_2_rows
+
+CIRCUITS = ("s27", "s298", "s344", "s386", "s526", "b11", "spi", "wb_dma")
+
+
+def test_table_4_2(benchmark):
+    rows = benchmark.pedantic(
+        table_4_2_rows, args=(CIRCUITS,), rounds=1, iterations=1
+    )
+    print()
+    print(
+        render(
+            "Table 4.2  Parameters for benchmark circuits",
+            ["Circuit", "NPO", "NPI", "NSP", "NSV"],
+            rows,
+            note="synthetic stand-ins except s27; see DESIGN.md",
+        )
+    )
+    for row in rows:
+        assert 0 <= row["NSP"] <= row["NPI"]

@@ -1,0 +1,45 @@
+"""Regenerates Table 4.3: built-in generation under PI constraints.
+
+Per target: the unconstrained ``buffers`` baseline plus the eligible
+driving blocks with the highest and lowest SWA_func.  Shape claims from
+the paper:
+
+* SWA_func under a constraining driver is lower than under ``buffers``;
+* the applied tests' peak SWA never exceeds the bound;
+* a large SWA_func drop costs fault coverage, a small one costs little.
+"""
+
+from repro.core.builtin_gen import BuiltinGenConfig
+from repro.experiments.tables4 import render_table_4_3, run_table_4_3
+
+TARGETS = ("s298", "s344")
+DRIVERS = ("s344", "s641", "s953", "s820")
+
+
+def test_table_4_3(benchmark):
+    cases = benchmark.pedantic(
+        run_table_4_3,
+        kwargs={
+            "targets": TARGETS,
+            "drivers": DRIVERS,
+            "config": BuiltinGenConfig(segment_length=120, time_limit=15, rng_seed=2),
+            "n_sequences": 12,
+            "func_length": 100,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_table_4_3(cases))
+    by_target = {}
+    for case in cases:
+        by_target.setdefault(case.target, []).append(case)
+    for target, group in by_target.items():
+        buffers = next(c for c in group if c.driver == "buffers")
+        for case in group:
+            if case.swa_func is not None:
+                # bound respected
+                assert case.result.peak_swa <= case.swa_func + 1e-9
+                # constrained coverage never beats the unconstrained run by
+                # more than noise
+                assert case.result.coverage <= buffers.result.coverage + 5.0

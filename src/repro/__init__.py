@@ -1,0 +1,16 @@
+"""repro: built-in generation of functional broadside tests.
+
+A from-scratch reproduction of Bo Yao's dissertation system (Purdue, 2013;
+conference version: "Built-in generation of functional broadside tests",
+DATE 2011): deterministic broadside test generation for transition path
+delay faults, critical-path selection via static timing analysis with
+input necessary assignments, and built-in generation of functional
+broadside tests under primary input constraints with an optional
+state-holding DFT.
+
+High-level entry points live in :mod:`repro.core`; the substrates
+(circuit model, simulators, fault models, ATPG, STA, BIST hardware) are
+importable individually.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,1 @@
+"""Deterministic test generation: implication, PODEM, broadside ATPG, TPDF pipeline."""

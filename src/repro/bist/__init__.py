@@ -1,0 +1,6 @@
+"""BIST hardware models: LFSR/MISR, TPG logic, counters, architecture, area."""
+
+from repro.bist.lfsr import Lfsr, Misr
+from repro.bist.tpg import DevelopedTpg, ReferenceTpg
+
+__all__ = ["Lfsr", "Misr", "DevelopedTpg", "ReferenceTpg"]

@@ -1,0 +1,128 @@
+"""Control counters and derived signals (Figs 4.6, 4.11, 4.13).
+
+Behavioural models of the small control hardware around the TPG:
+
+* :class:`ClockCycleCounter` -- tracks the clock cycle during sequence
+  application.  Its rightmost ``q`` bits feed a NOR gate producing the
+  *test apply* signal every ``2**q`` cycles (Fig 4.6; with ``q = 1`` the
+  rightmost bit itself serves as the signal and no NOR is needed).  Its
+  rightmost ``h`` bits likewise produce the *holding enable* signal every
+  ``2**h`` cycles (Fig 4.11).
+* :class:`SetSelector` -- the set counter plus decoder that one-hot
+  enables the current state-holding set (Fig 4.13).
+* :func:`counter_bits` -- bit widths of the shift / segment / sequence
+  counters of Section 4.4, used by the area model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+def counter_bits(max_count: int) -> int:
+    """Width of a counter that must represent values ``0 .. max_count - 1``."""
+    return max(1, math.ceil(math.log2(max(2, max_count))))
+
+
+@dataclass
+class ClockCycleCounter:
+    """The clock cycle counter with apply/hold signal taps."""
+
+    width: int
+    q: int = 1  # tests applied every 2**q cycles
+    h: int = 2  # state holding every 2**h cycles
+    value: int = 0
+
+    @classmethod
+    def for_length(cls, max_length: int, q: int = 1, h: int = 2) -> "ClockCycleCounter":
+        """Size the counter for sequences up to ``max_length`` cycles."""
+        return cls(width=counter_bits(max_length), q=q, h=h)
+
+    def reset(self) -> None:
+        """Clear the counter (new segment)."""
+        self.value = 0
+
+    def tick(self) -> int:
+        """Advance one clock; returns the new value."""
+        self.value = (self.value + 1) & ((1 << self.width) - 1)
+        return self.value
+
+    @property
+    def apply_signal(self) -> int:
+        """Fig 4.6: NOR of the rightmost ``q`` bits -- 1 every ``2**q`` cycles."""
+        return 1 if (self.value & ((1 << self.q) - 1)) == 0 else 0
+
+    @property
+    def hold_enable(self) -> int:
+        """Fig 4.11: NOR of the rightmost ``h`` bits -- 1 every ``2**h`` cycles."""
+        return 1 if (self.value & ((1 << self.h) - 1)) == 0 else 0
+
+
+@dataclass
+class SetSelector:
+    """Set counter + decoder generating one-hot hold-enable signals (Fig 4.13)."""
+
+    n_sets: int
+    current: int = 0
+
+    @property
+    def width(self) -> int:
+        """Set counter width."""
+        return counter_bits(max(self.n_sets, 1))
+
+    def advance(self) -> int:
+        """Move to the next set; returns its index."""
+        self.current += 1
+        return self.current
+
+    @property
+    def done(self) -> bool:
+        """All sets consumed (terminates on-chip generation with holding)."""
+        return self.current >= self.n_sets
+
+    def one_hot(self) -> list[int]:
+        """Decoder outputs ``Hold_en_0 .. Hold_en_{n-1}``."""
+        return [1 if i == self.current else 0 for i in range(self.n_sets)]
+
+
+@dataclass
+class ControllerCounters:
+    """The full counter complement of the developed method (Section 4.4).
+
+    Sized from the selected multi-segment sequences:
+
+    * clock cycle counter: ``log2(Lmax)`` bits,
+    * shift counter: ``log2(Lsc)`` bits (circular-shift tracking),
+    * segment counter: ``log2(Nsegmax)`` bits,
+    * sequence counter: ``log2(Nmulti)`` bits,
+    * optional set counter + decoder for state holding.
+    """
+
+    l_max: int
+    l_scan: int
+    n_seg_max: int
+    n_multi: int
+    n_hold_sets: int = 0
+    cycle: ClockCycleCounter = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.cycle = ClockCycleCounter.for_length(max(self.l_max, 2))
+
+    @property
+    def bit_widths(self) -> dict[str, int]:
+        """Per-counter widths, the area model's input."""
+        widths = {
+            "clock_cycle": counter_bits(max(self.l_max, 2)),
+            "shift": counter_bits(max(self.l_scan, 2)),
+            "segment": counter_bits(max(self.n_seg_max, 2)),
+            "sequence": counter_bits(max(self.n_multi, 2)),
+        }
+        if self.n_hold_sets:
+            widths["set"] = counter_bits(self.n_hold_sets)
+        return widths
+
+    @property
+    def total_flops(self) -> int:
+        """Total counter flip-flops."""
+        return sum(self.bit_widths.values())

@@ -1,0 +1,240 @@
+"""LFSR reseeding: solving seeds over GF(2) ([81], Section 4.2).
+
+An LFSR is linear over GF(2): every serial-output bit is an XOR of seed
+bits.  Reseeding techniques exploit this to *embed deterministic values*
+in the pseudo-random stream -- the classic mixed-mode BIST upgrade the
+paper cites ([81]) for raising pseudo-random fault coverage.
+
+Provided here:
+
+* :func:`output_basis` -- the GF(2) linear map from seed bits to serial
+  output bits (computed by simulating basis seeds; the LFSR has no affine
+  part since seed 0 produces the all-zero stream);
+* :func:`solve_seed` -- Gaussian elimination for a seed satisfying
+  ``output[position] = bit`` constraints;
+* :func:`seed_for_vector` -- the TPG-level application: a seed that makes
+  the developed TPG (Fig 4.8) emit a chosen primary input vector at a
+  chosen cycle, by first picking shift-register contents that realise the
+  vector through the AND/OR biasing gates and then solving the resulting
+  linear constraints.
+"""
+
+from __future__ import annotations
+
+from repro.bist.lfsr import Lfsr
+from repro.bist.tpg import DevelopedTpg
+from repro.logic.values import X, is_binary
+
+
+def output_basis(n: int, length: int, taps: tuple[int, ...] | None = None) -> list[int]:
+    """Per-seed-bit output masks.
+
+    ``basis[i]`` has bit ``t`` set iff seed bit ``i`` contributes (mod 2)
+    to the serial output at step ``t``.
+    """
+    basis: list[int] = []
+    for i in range(n):
+        lfsr = Lfsr(n=n, taps=taps, seed=1 << i)
+        word = 0
+        for t in range(length):
+            if lfsr.step():
+                word |= 1 << t
+        basis.append(word)
+    return basis
+
+
+def solve_seed(
+    n: int,
+    constraints: list[tuple[int, int]],
+    taps: tuple[int, ...] | None = None,
+) -> int | None:
+    """A seed whose output stream satisfies ``(position, bit)`` constraints.
+
+    Returns ``None`` when the constraints are inconsistent (rank
+    deficiency makes this possible once the constraint count approaches
+    ``n``), or when the only solution is the forbidden all-zero seed.
+    """
+    if not constraints:
+        return 1
+    horizon = max(pos for pos, _ in constraints) + 1
+    basis = output_basis(n, horizon, taps=taps)
+    # Row per constraint: n coefficient bits plus the RHS bit at n.
+    rows: list[int] = []
+    for pos, bit in constraints:
+        row = 0
+        for i in range(n):
+            if (basis[i] >> pos) & 1:
+                row |= 1 << i
+        row |= (bit & 1) << n
+        rows.append(row)
+    # Gaussian elimination over GF(2).
+    pivots: dict[int, int] = {}
+    for row in rows:
+        for col in range(n):
+            if not (row >> col) & 1:
+                continue
+            if col in pivots:
+                row ^= pivots[col]
+            else:
+                pivots[col] = row
+                row = 0
+                break
+        if row:  # nonzero row with zero coefficients -> 0 = 1
+            if row == (1 << n):
+                return None
+    # Back-substitute: free variables default to 1 (keeps the seed nonzero
+    # and spreads energy across the register).
+    seed = 0
+    for col in range(n - 1, -1, -1):
+        if col in pivots:
+            row = pivots[col]
+            rhs = (row >> n) & 1
+            acc = rhs
+            for c2 in range(col + 1, n):
+                if (row >> c2) & 1:
+                    acc ^= (seed >> c2) & 1
+            if acc:
+                seed |= 1 << col
+        else:
+            seed |= 1 << col
+    if seed == 0:
+        return None
+    # Verify (defensive: elimination plus default-free-vars must satisfy).
+    lfsr = Lfsr(n=n, taps=taps, seed=seed)
+    stream = 0
+    for t in range(horizon):
+        if lfsr.step():
+            stream |= 1 << t
+    for pos, bit in constraints:
+        if ((stream >> pos) & 1) != (bit & 1):
+            return None
+    return seed
+
+
+def register_values_for_vector(
+    tpg: DevelopedTpg, vector: list[int]
+) -> list[int] | None:
+    """Shift-register contents realising a primary input vector.
+
+    For a biased input (``C(i)`` specified, m-bit AND/OR): the favoured
+    value needs all taps at the non-controlling value, the other value is
+    realised by forcing the first tap.  Unbiased inputs tap one bit
+    directly.  X entries in ``vector`` leave their taps free.
+    """
+    bits: list[int] = [X] * tpg.n_register_bits
+    for value, cube_value, alloc in zip(vector, tpg.cube.values, tpg.allocation):
+        if value == X:
+            continue
+        if not is_binary(cube_value):
+            bits[alloc[0]] = value
+        elif cube_value == 0:
+            # AND gate: output 1 needs all taps 1; output 0 needs a 0 tap.
+            if value == 1:
+                for r in alloc:
+                    bits[r] = 1
+            else:
+                bits[alloc[0]] = 0
+        else:
+            # OR gate: output 0 needs all taps 0; output 1 needs a 1 tap.
+            if value == 0:
+                for r in alloc:
+                    bits[r] = 0
+            else:
+                bits[alloc[0]] = 1
+    return bits
+
+
+def vector_constraints(
+    tpg: DevelopedTpg, vector: list[int]
+) -> tuple[dict[int, int], list[tuple[tuple[int, ...], int]]]:
+    """Register constraints realising a vector, split by rigidity.
+
+    Returns ``(forced, choices)``: ``forced`` maps register indices to
+    required bits (the favoured value of a biased input needs *all* its
+    taps at the non-controlling value); each ``choices`` entry
+    ``(indices, bit)`` needs *at least one* of the indices at ``bit``
+    (the unfavoured value of a biased input).
+    """
+    forced: dict[int, int] = {}
+    choices: list[tuple[tuple[int, ...], int]] = []
+    for value, cube_value, alloc in zip(vector, tpg.cube.values, tpg.allocation):
+        if value == X:
+            continue
+        if not is_binary(cube_value):
+            forced[alloc[0]] = value
+        elif cube_value == 0:  # AND gate
+            if value == 1:
+                for r in alloc:
+                    forced[r] = 1
+            else:
+                choices.append((alloc, 0))
+        else:  # OR gate
+            if value == 0:
+                for r in alloc:
+                    forced[r] = 0
+            else:
+                choices.append((alloc, 1))
+    return forced, choices
+
+
+def seed_for_vectors(
+    tpg: DevelopedTpg, targets: list[tuple[int, list[int]]]
+) -> int | None:
+    """A seed embedding several vectors at chosen cycles simultaneously.
+
+    ``targets`` is a list of ``(at_cycle, vector)`` pairs; cycles count
+    from 1 after the reseed.  Register windows of nearby cycles overlap,
+    so forced requirements can clash (``None``); at-least-one-tap
+    requirements are placed greedily on compatible positions.  The
+    two-cycle case embeds a deterministic broadside test's ``(v1, v2)``
+    into the pseudo-random stream -- mixed-mode BIST in the style of [81].
+    """
+    merged: dict[int, int] = {}
+    init = tpg.init_cycles
+    deferred: list[tuple[tuple[int, ...], int]] = []
+    for at_cycle, vector in targets:
+        if at_cycle < 1:
+            raise ValueError("at_cycle counts from 1")
+        forced, choices = vector_constraints(tpg, vector)
+        for r, bit in forced.items():
+            position = init + at_cycle - 1 - r
+            if merged.setdefault(position, bit) != bit:
+                return None  # overlapping windows demand opposite bits
+        for alloc, bit in choices:
+            positions = tuple(init + at_cycle - 1 - r for r in alloc)
+            deferred.append((positions, bit))
+    # Greedy placement: prefer a position already holding the bit, else a
+    # free one.
+    for positions, bit in deferred:
+        if any(merged.get(p) == bit for p in positions):
+            continue
+        free = [p for p in positions if p not in merged]
+        if not free:
+            return None
+        merged[free[0]] = bit
+    return solve_seed(tpg.n_lfsr, sorted(merged.items()))
+
+
+def seed_for_vector(
+    tpg: DevelopedTpg, vector: list[int], at_cycle: int = 1
+) -> int | None:
+    """A seed making ``tpg`` emit ``vector`` at its ``at_cycle``-th vector.
+
+    ``at_cycle`` counts vectors after the reseed (1 = the first vector).
+    The shift register holds, newest first, the LFSR serial outputs at
+    steps ``init + at_cycle - 1`` down to ``at_cycle``; solving those
+    positions against the register contents gives the seed.
+    """
+    if at_cycle < 1:
+        raise ValueError("at_cycle counts from 1")
+    register = register_values_for_vector(tpg, vector)
+    if register is None:
+        return None
+    init = tpg.init_cycles
+    constraints: list[tuple[int, int]] = []
+    for r, bit in enumerate(register):
+        if bit == X:
+            continue
+        position = init + at_cycle - 1 - r
+        constraints.append((position, bit))
+    return solve_seed(tpg.n_lfsr, constraints)

@@ -1,0 +1,189 @@
+"""Test pattern generation logic (Figs 4.7 and 4.8).
+
+Two TPG structures are modelled cycle-accurately:
+
+* :class:`ReferenceTpg` -- the structure of [73] (Fig 4.7): a *distinct
+  set of d LFSR bits per primary input*, of which ``m`` feed an AND (for
+  ``C(i)=0``) or OR (for ``C(i)=1``) biasing gate, so the favoured value
+  appears with probability ``1 - 1/2**m``.  Its LFSR length grows as
+  ``d * N_PI``.
+* :class:`DevelopedTpg` -- the developed structure (Fig 4.8): a *fixed*
+  ``N_LFSR``-stage LFSR feeding a shift register; each biased input taps
+  ``m`` distinct shift-register bits, each unbiased input taps one, for a
+  register of ``m*N_SP + (N_PI - N_SP)`` bits.  After a reseed, the shift
+  register is re-initialised over ``len(register)`` clock cycles before
+  pattern generation resumes (the "shift register initialization"
+  operation mode of Section 4.4).
+
+Both expose ``sequence(seed, length)`` -- the primary input sequence a
+given LFSR seed produces -- which is the unit the Chapter 4 construction
+procedures select over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bist.cube import InputCube, compute_input_cube
+from repro.bist.lfsr import Lfsr
+from repro.circuits.netlist import Circuit
+from repro.logic.values import is_binary
+
+
+@dataclass
+class TpgStructure:
+    """Common bookkeeping: per-input bit allocation and biasing gates."""
+
+    cube: InputCube
+    m: int
+    #: per input: tuple of register-bit indices (len m when biased, else 1)
+    allocation: list[tuple[int, ...]] = field(default_factory=list)
+
+    @property
+    def n_register_bits(self) -> int:
+        """Total register bits consumed."""
+        return sum(len(a) for a in self.allocation)
+
+    @property
+    def n_inputs(self) -> int:
+        """Number of primary inputs driven."""
+        return len(self.cube.values)
+
+    @property
+    def n_and_gates(self) -> int:
+        """Number of m-input AND biasing gates (inputs with C(i)=0)."""
+        return sum(1 for v in self.cube.values if v == 0)
+
+    @property
+    def n_or_gates(self) -> int:
+        """Number of m-input OR biasing gates (inputs with C(i)=1)."""
+        return sum(1 for v in self.cube.values if v == 1)
+
+    def _allocate(self) -> None:
+        pos = 0
+        self.allocation = []
+        for v in self.cube.values:
+            width = self.m if is_binary(v) else 1
+            self.allocation.append(tuple(range(pos, pos + width)))
+            pos += width
+
+    def _vector_from_bits(self, bits: list[int]) -> list[int]:
+        vector: list[int] = []
+        for v, alloc in zip(self.cube.values, self.allocation):
+            taps = [bits[i] for i in alloc]
+            if v == 0:
+                vector.append(1 if all(taps) else 0)  # AND: 0 with prob 1-1/2^m
+            elif v == 1:
+                vector.append(1 if any(taps) else 0)  # OR: 1 with prob 1-1/2^m
+            else:
+                vector.append(taps[0])
+        return vector
+
+
+@dataclass
+class DevelopedTpg(TpgStructure):
+    """The fixed-LFSR + shift-register TPG of the developed method (Fig 4.8)."""
+
+    n_lfsr: int = 32
+    _lfsr: Lfsr | None = None
+    _register: list[int] = field(default_factory=list)
+
+    @classmethod
+    def for_circuit(
+        cls, circuit: Circuit, m: int = 3, n_lfsr: int = 32
+    ) -> "DevelopedTpg":
+        """Build the TPG for a circuit (cube computed per Section 4.3)."""
+        tpg = cls(cube=compute_input_cube(circuit), m=m, n_lfsr=n_lfsr)
+        tpg._allocate()
+        return tpg
+
+    @property
+    def init_cycles(self) -> int:
+        """Clock cycles to fill the shift register after a reseed."""
+        return self.n_register_bits
+
+    def load_seed(self, seed: int) -> None:
+        """Reseed the LFSR and re-initialise the shift register.
+
+        The register fills exactly as the hardware would -- one serial
+        shift-in per clock -- so after initialisation index 0 holds the
+        newest LFSR output, matching the shift direction of
+        :meth:`next_vector`.
+        """
+        if self._lfsr is None:
+            self._lfsr = Lfsr(n=self.n_lfsr, seed=seed)
+        else:
+            self._lfsr.reseed(seed)
+        self._register = list(
+            reversed([self._lfsr.step() for _ in range(self.n_register_bits)])
+        )
+
+    def next_vector(self) -> list[int]:
+        """Advance one clock and emit the next primary input vector."""
+        if self._lfsr is None:
+            raise RuntimeError("load_seed() must be called first")
+        self._register.insert(0, self._lfsr.step())
+        self._register.pop()
+        return self._vector_from_bits(self._register)
+
+    def sequence(self, seed: int, length: int) -> list[list[int]]:
+        """The primary input sequence produced from ``seed``."""
+        self.load_seed(seed)
+        return [self.next_vector() for _ in range(length)]
+
+
+@dataclass
+class ReferenceTpg(TpgStructure):
+    """The per-input-LFSR-bit TPG of [73] (Fig 4.7)."""
+
+    d: int = 4
+    _lfsr: Lfsr | None = None
+
+    @classmethod
+    def for_circuit(cls, circuit: Circuit, m: int = 3, d: int = 4) -> "ReferenceTpg":
+        """Build the reference TPG; its LFSR has ``d * N_PI`` stages."""
+        if m > d:
+            raise ValueError("m must not exceed d")
+        tpg = cls(cube=compute_input_cube(circuit), m=m, d=d)
+        # Each input owns d consecutive LFSR bits; biased inputs use the
+        # first m of them, unbiased inputs their first bit.
+        pos = 0
+        tpg.allocation = []
+        for v in tpg.cube.values:
+            width = tpg.m if is_binary(v) else 1
+            tpg.allocation.append(tuple(range(pos, pos + width)))
+            pos += tpg.d
+        return tpg
+
+    @property
+    def n_lfsr(self) -> int:
+        """LFSR length: d bits per primary input."""
+        return self.d * len(self.cube.values)
+
+    def load_seed(self, seed: int) -> None:
+        """Reseed the LFSR."""
+        n = self.n_lfsr
+        taps = None
+        from repro.bist.lfsr import PRIMITIVE_TAPS
+
+        if n not in PRIMITIVE_TAPS:
+            # Fall back to a near-size tabulated polynomial extended with a
+            # direct feedback tap; periodicity suffices for simulation.
+            taps = (n, max(1, n - 3))
+        if self._lfsr is None:
+            self._lfsr = Lfsr(n=n, taps=taps, seed=seed)
+        else:
+            self._lfsr.reseed(seed)
+
+    def next_vector(self) -> list[int]:
+        """Advance one clock and emit the next primary input vector."""
+        if self._lfsr is None:
+            raise RuntimeError("load_seed() must be called first")
+        self._lfsr.step()
+        bits = self._lfsr.bits
+        return self._vector_from_bits(bits)
+
+    def sequence(self, seed: int, length: int) -> list[list[int]]:
+        """The primary input sequence produced from ``seed``."""
+        self.load_seed(seed)
+        return [self.next_vector() for _ in range(length)]

@@ -1,0 +1,159 @@
+"""Weighted random pattern generation ([84]-[87], Section 4.2).
+
+A generalisation of the developed TPG's biasing: instead of the single
+probability ``1 - 1/2**m`` per cube-specified input, each primary input
+gets a weight from the realisable set ``{1/2**k, 1 - 1/2**k}`` (AND/OR
+trees over ``k`` shift-register taps, ``k <= max_taps``).  Weights are
+chosen from COP signal probabilities so that hard-to-launch faults become
+likelier: an input whose ideal 1-probability is ``w`` receives the
+realisable weight closest to ``w``.
+
+:class:`WeightedTpg` plugs into the same flows as
+:class:`repro.bist.tpg.DevelopedTpg` (it exposes ``sequence`` and the
+register/gate accounting the area model needs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.bist.lfsr import Lfsr
+from repro.circuits.netlist import Circuit
+from repro.logic.probability import signal_probabilities
+
+
+def realisable_weights(max_taps: int) -> list[tuple[float, int, str]]:
+    """(probability, taps, gate) triples realisable with AND/OR trees."""
+    weights: list[tuple[float, int, str]] = [(0.5, 1, "direct")]
+    for k in range(2, max_taps + 1):
+        weights.append((1.0 / (1 << k), k, "and"))
+        weights.append((1.0 - 1.0 / (1 << k), k, "or"))
+    return sorted(weights)
+
+
+def choose_weight(target: float, max_taps: int) -> tuple[float, int, str]:
+    """The realisable weight closest to a target 1-probability."""
+    return min(realisable_weights(max_taps), key=lambda w: abs(w[0] - target))
+
+
+def weights_from_cop(
+    circuit: Circuit, max_taps: int = 4, damping: float = 0.5
+) -> dict[str, float]:
+    """Target per-input 1-probabilities from COP analysis.
+
+    Heuristic from the weighted-random literature: push each input's
+    probability away from the value that makes its fan-out cone's signal
+    probabilities extreme.  We approximate by measuring, per input, the
+    average launch probability of its transitive fan-out under p=0.5 and
+    nudging the input toward whichever value raises it (evaluated by
+    finite difference), damped by ``damping``.
+    """
+    base = signal_probabilities(circuit)
+    targets: dict[str, float] = {}
+    for pi in circuit.inputs:
+        cone = circuit.transitive_fanout(pi)
+        if not cone:
+            targets[pi] = 0.5
+            continue
+
+        def cone_merit(p_input: float) -> float:
+            prob = signal_probabilities(circuit, {pi: p_input}, iterations=4)
+            return sum((1.0 - prob[l]) * prob[l] for l in cone) / len(cone)
+
+        low, high = cone_merit(0.25), cone_merit(0.75)
+        if abs(high - low) < 1e-9:
+            targets[pi] = 0.5
+        elif high > low:
+            targets[pi] = 0.5 + damping * 0.5
+        else:
+            targets[pi] = 0.5 - damping * 0.5
+    return targets
+
+
+@dataclass
+class WeightedTpg:
+    """Shift-register TPG with per-input AND/OR weight trees."""
+
+    #: per input: (weight, taps, gate-kind)
+    plan: list[tuple[float, int, str]]
+    n_lfsr: int = 32
+    allocation: list[tuple[int, ...]] = field(default_factory=list)
+    _lfsr: Lfsr | None = None
+    _register: list[int] = field(default_factory=list)
+
+    @classmethod
+    def for_circuit(
+        cls,
+        circuit: Circuit,
+        weights: Mapping[str, float] | None = None,
+        max_taps: int = 4,
+        n_lfsr: int = 32,
+    ) -> "WeightedTpg":
+        """Build from explicit weights or COP-derived ones."""
+        if weights is None:
+            weights = weights_from_cop(circuit, max_taps=max_taps)
+        plan = [choose_weight(weights.get(pi, 0.5), max_taps) for pi in circuit.inputs]
+        tpg = cls(plan=plan, n_lfsr=n_lfsr)
+        pos = 0
+        for _, taps, _ in plan:
+            tpg.allocation.append(tuple(range(pos, pos + taps)))
+            pos += taps
+        return tpg
+
+    @property
+    def n_register_bits(self) -> int:
+        """Shift register length."""
+        return sum(len(a) for a in self.allocation)
+
+    @property
+    def n_inputs(self) -> int:
+        """Number of primary inputs driven."""
+        return len(self.plan)
+
+    @property
+    def n_and_gates(self) -> int:
+        """Number of AND weight trees."""
+        return sum(1 for _, _, kind in self.plan if kind == "and")
+
+    @property
+    def n_or_gates(self) -> int:
+        """Number of OR weight trees."""
+        return sum(1 for _, _, kind in self.plan if kind == "or")
+
+    @property
+    def init_cycles(self) -> int:
+        """Clock cycles to refill the register after a reseed."""
+        return self.n_register_bits
+
+    def load_seed(self, seed: int) -> None:
+        """Reseed and refill the register (newest bit at index 0)."""
+        if self._lfsr is None:
+            self._lfsr = Lfsr(n=self.n_lfsr, seed=seed)
+        else:
+            self._lfsr.reseed(seed)
+        self._register = list(
+            reversed([self._lfsr.step() for _ in range(self.n_register_bits)])
+        )
+
+    def next_vector(self) -> list[int]:
+        """Advance one clock and emit the next weighted vector."""
+        if self._lfsr is None:
+            raise RuntimeError("load_seed() must be called first")
+        self._register.insert(0, self._lfsr.step())
+        self._register.pop()
+        vector: list[int] = []
+        for (weight, _, kind), alloc in zip(self.plan, self.allocation):
+            taps = [self._register[i] for i in alloc]
+            if kind == "direct":
+                vector.append(taps[0])
+            elif kind == "and":
+                vector.append(1 if all(taps) else 0)
+            else:
+                vector.append(1 if any(taps) else 0)
+        return vector
+
+    def sequence(self, seed: int, length: int) -> list[list[int]]:
+        """The weighted primary input sequence produced from ``seed``."""
+        self.load_seed(seed)
+        return [self.next_vector() for _ in range(length)]

@@ -1,0 +1,6 @@
+"""Circuit model: gates, netlists, bench IO, library, benchmarks, scan."""
+
+from repro.circuits.gates import GateType
+from repro.circuits.netlist import Circuit, Flop, Gate, NetlistError
+
+__all__ = ["Circuit", "Gate", "Flop", "GateType", "NetlistError"]

@@ -1,0 +1,80 @@
+"""Reader and writer for the ISCAS89 ``.bench`` netlist format.
+
+The format is the lingua franca of the benchmark circuits used throughout
+the dissertation's experiments::
+
+    # comment
+    INPUT(G0)
+    OUTPUT(G17)
+    G10 = DFF(G14)
+    G14 = NAND(G0, G10)
+    G17 = NOT(G11)
+
+Supported gate tokens: ``AND``, ``NAND``, ``OR``, ``NOR``, ``XOR``,
+``XNOR``, ``NOT``/``INV``, ``BUF``/``BUFF``, ``DFF``.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.circuits.gates import parse_gate_type
+from repro.circuits.netlist import Circuit, NetlistError
+
+_DECL_RE = re.compile(r"^(INPUT|OUTPUT)\s*\(\s*([^)\s]+)\s*\)$", re.IGNORECASE)
+_GATE_RE = re.compile(r"^([^=\s]+)\s*=\s*([A-Za-z]+)\s*\(\s*(.*?)\s*\)$")
+
+
+def loads(text: str, name: str = "bench") -> Circuit:
+    """Parse ``.bench`` text into a :class:`Circuit`."""
+    circuit = Circuit(name=name)
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        decl = _DECL_RE.match(line)
+        if decl:
+            kind, signal = decl.group(1).upper(), decl.group(2)
+            if kind == "INPUT":
+                circuit.add_input(signal)
+            else:
+                circuit.add_output(signal)
+            continue
+        gate = _GATE_RE.match(line)
+        if gate is None:
+            raise NetlistError(f"{name}:{lineno}: cannot parse line {raw!r}")
+        out, type_token, args = gate.group(1), gate.group(2), gate.group(3)
+        operands = [a.strip() for a in args.split(",") if a.strip()]
+        if type_token.upper() == "DFF":
+            if len(operands) != 1:
+                raise NetlistError(f"{name}:{lineno}: DFF takes one input")
+            circuit.add_dff(q=out, d=operands[0])
+        else:
+            circuit.add_gate(out, parse_gate_type(type_token), operands)
+    circuit.validate()
+    return circuit
+
+
+def load(path: str | Path) -> Circuit:
+    """Parse a ``.bench`` file; the circuit is named after the file stem."""
+    path = Path(path)
+    return loads(path.read_text(), name=path.stem)
+
+
+def dumps(circuit: Circuit) -> str:
+    """Serialize a :class:`Circuit` into ``.bench`` text."""
+    lines = [f"# {circuit.name}"]
+    s = circuit.stats()
+    lines.append(f"# {s['inputs']} inputs, {s['outputs']} outputs, {s['flops']} flops, {s['gates']} gates")
+    lines.extend(f"INPUT({pi})" for pi in circuit.inputs)
+    lines.extend(f"OUTPUT({po})" for po in circuit.outputs)
+    lines.extend(f"{flop.q} = DFF({flop.d})" for flop in circuit.flops)
+    for gate in circuit.topo_gates:
+        lines.append(f"{gate.name} = {gate.gate_type.value}({', '.join(gate.inputs)})")
+    return "\n".join(lines) + "\n"
+
+
+def dump(circuit: Circuit, path: str | Path) -> None:
+    """Write a circuit to a ``.bench`` file."""
+    Path(path).write_text(dumps(circuit))

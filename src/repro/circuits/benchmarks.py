@@ -1,0 +1,159 @@
+"""Benchmark circuit registry.
+
+The dissertation evaluates on ISCAS89, ITC99, and IWLS2005 benchmark
+circuits.  This repository embeds the public ``s27`` netlist verbatim and
+*synthesizes* stand-ins for all other benchmarks with
+:mod:`repro.circuits.generator` (see DESIGN.md, "Substitutions").  Each
+stand-in keeps the original's interface parameterisation, scaled where the
+original is too large for pure-Python fault simulation; the ``scaled``
+flag marks those entries.
+
+Use :func:`get_circuit` to obtain a (cached) circuit by benchmark name, and
+:func:`available` to enumerate the suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.circuits import bench
+from repro.circuits.generator import GeneratorSpec, generate
+from repro.circuits.netlist import Circuit
+
+#: The real ISCAS89 s27 netlist (public domain benchmark).
+S27_BENCH = """
+# s27 (ISCAS89)
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NAND(G2, G12)
+"""
+
+
+@dataclass(frozen=True)
+class BenchmarkEntry:
+    """Registry entry: generator parameters plus provenance flags."""
+
+    name: str
+    n_inputs: int
+    n_outputs: int
+    n_flops: int
+    n_gates: int
+    synthetic: bool = True
+    scaled: bool = False
+    family: str = "iscas89"
+
+
+# Interface parameters follow the published benchmark statistics; entries
+# with ``scaled=True`` shrink gate/flop counts to keep pure-Python fault
+# simulation tractable (the original counts are in the comments).
+_REGISTRY: dict[str, BenchmarkEntry] = {
+    e.name: e
+    for e in [
+        BenchmarkEntry("s27", 4, 1, 3, 10, synthetic=False),
+        BenchmarkEntry("s298", 3, 6, 14, 119),
+        BenchmarkEntry("s344", 9, 11, 15, 160),
+        BenchmarkEntry("s349", 9, 11, 15, 161),
+        BenchmarkEntry("s382", 3, 6, 21, 158),
+        BenchmarkEntry("s386", 7, 7, 6, 159),
+        BenchmarkEntry("s444", 3, 6, 21, 181),
+        BenchmarkEntry("s510", 19, 7, 6, 211),
+        BenchmarkEntry("s526", 3, 6, 21, 193),
+        BenchmarkEntry("s641", 35, 24, 19, 379),
+        BenchmarkEntry("s713", 35, 23, 19, 393),
+        BenchmarkEntry("s820", 18, 19, 5, 289),
+        BenchmarkEntry("s832", 18, 19, 5, 287),
+        BenchmarkEntry("s953", 16, 23, 29, 395),
+        BenchmarkEntry("s1196", 14, 14, 18, 529),
+        BenchmarkEntry("s1238", 14, 14, 18, 508),
+        BenchmarkEntry("s1488", 8, 19, 6, 653),
+        BenchmarkEntry("s1494", 8, 19, 6, 647),
+        BenchmarkEntry("s1423", 17, 5, 74, 657),
+        BenchmarkEntry("s5378", 35, 49, 120, 900, scaled=True),  # 164 ff / 2779 gates
+        BenchmarkEntry("s9234", 36, 39, 135, 1000, scaled=True),  # 211 / 5597
+        BenchmarkEntry("s13207", 62, 152, 180, 1100, scaled=True),  # 638 / 7951
+        BenchmarkEntry("s35932", 35, 320, 280, 1300, scaled=True),  # 1728 / 16065
+        BenchmarkEntry("s38417", 28, 106, 260, 1300, scaled=True),  # 1636 / 22179
+        BenchmarkEntry("s38584", 38, 304, 240, 1250, scaled=True),  # 1426 / 19253
+        # ITC99
+        BenchmarkEntry("b11", 7, 6, 31, 370, family="itc99"),
+        BenchmarkEntry("b12", 5, 6, 121, 800, scaled=True, family="itc99"),
+        BenchmarkEntry("b14", 32, 54, 215, 900, scaled=True, family="itc99"),
+        BenchmarkEntry("b20", 32, 22, 280, 1100, scaled=True, family="itc99"),  # 430 ff
+        # IWLS2005 (OpenCores) embedded-block suite from Table 4.2
+        BenchmarkEntry("spi", 45, 45, 160, 700, scaled=True, family="iwls"),  # 229 ff
+        BenchmarkEntry("wb_dma", 215, 215, 240, 900, scaled=True, family="iwls"),  # 523 ff
+        BenchmarkEntry("systemcaes", 258, 129, 300, 1100, scaled=True, family="iwls"),  # 670 ff
+        BenchmarkEntry("systemcdes", 130, 65, 190, 700, scaled=True, family="iwls"),
+        BenchmarkEntry("des_area", 239, 64, 128, 700, scaled=True, family="iwls"),
+        BenchmarkEntry("aes_core", 258, 129, 260, 1000, scaled=True, family="iwls"),  # 530 ff
+        BenchmarkEntry("wb_conmax", 360, 452, 300, 1200, scaled=True, family="iwls"),  # 1128/1416/770
+        BenchmarkEntry("des_perf", 233, 64, 400, 1300, scaled=True, family="iwls"),  # 8808 ff
+    ]
+}
+
+
+def available(family: str | None = None) -> list[str]:
+    """Names of all registered benchmarks, optionally filtered by family."""
+    return [
+        name
+        for name, entry in _REGISTRY.items()
+        if family is None or entry.family == family
+    ]
+
+
+def entry(name: str) -> BenchmarkEntry:
+    """Registry entry for a benchmark name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; available: {', '.join(sorted(_REGISTRY))}"
+        ) from None
+
+
+@lru_cache(maxsize=None)
+def get_circuit(name: str) -> Circuit:
+    """Build (and cache) the benchmark circuit ``name``."""
+    e = entry(name)
+    if not e.synthetic:
+        return bench.loads(S27_BENCH, name=name)
+    spec = GeneratorSpec(
+        name=e.name,
+        n_inputs=e.n_inputs,
+        n_outputs=e.n_outputs,
+        n_flops=e.n_flops,
+        n_gates=e.n_gates,
+    )
+    return generate(spec)
+
+
+def make_buffers_block(target: Circuit) -> Circuit:
+    """The dissertation's ``buffers`` driving block (Section 4.6).
+
+    A purely combinational block whose primary outputs are buffered copies
+    of its primary inputs, sized to drive every primary input of ``target``.
+    Used as the no-primary-input-constraints baseline.
+    """
+    block = Circuit(name="buffers")
+    for i in range(len(target.inputs)):
+        pi = block.add_input(f"bin{i}")
+        block.add_gate(f"bout{i}", "BUF", [pi])
+        block.add_output(f"bout{i}")
+    block.validate()
+    return block

@@ -1,0 +1,165 @@
+"""Gate types and their logical properties.
+
+Combinational gates supported by the netlist model, together with the
+properties ATPG and path-delay analysis need:
+
+* three-valued evaluation (:func:`evaluate`),
+* bitwise word evaluation for bit-parallel simulation
+  (:func:`evaluate_word`),
+* controlling / non-controlling values and inversion parity, which drive
+  path sensitization rules and backward implication.
+
+XOR/XNOR gates have no controlling value; :func:`controlling_value` returns
+``None`` for them and the sensitization machinery falls back to
+side-input-stability rules.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Sequence
+
+from repro.logic.values import ONE, ZERO, v_and_all, v_not, v_or_all, v_xor_all
+
+
+class GateType(str, Enum):
+    """Combinational gate primitives plus netlist terminals."""
+
+    INPUT = "INPUT"  # primary input (no driver)
+    DFF = "DFF"  # state element: output is a present-state line
+    BUF = "BUF"
+    NOT = "NOT"
+    AND = "AND"
+    NAND = "NAND"
+    OR = "OR"
+    NOR = "NOR"
+    XOR = "XOR"
+    XNOR = "XNOR"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Gate types that compute a combinational function of their inputs.
+COMBINATIONAL_TYPES = (
+    GateType.BUF,
+    GateType.NOT,
+    GateType.AND,
+    GateType.NAND,
+    GateType.OR,
+    GateType.NOR,
+    GateType.XOR,
+    GateType.XNOR,
+)
+
+_CONTROLLING = {
+    GateType.AND: ZERO,
+    GateType.NAND: ZERO,
+    GateType.OR: ONE,
+    GateType.NOR: ONE,
+}
+
+_INVERTING = {GateType.NOT, GateType.NAND, GateType.NOR, GateType.XNOR}
+
+
+def controlling_value(gate_type: GateType) -> int | None:
+    """The input value that determines the output alone, or ``None``.
+
+    AND/NAND are controlled by 0, OR/NOR by 1.  BUF/NOT/XOR/XNOR have no
+    controlling value.
+    """
+    return _CONTROLLING.get(gate_type)
+
+
+def noncontrolling_value(gate_type: GateType) -> int | None:
+    """The complement of the controlling value, or ``None``."""
+    c = _CONTROLLING.get(gate_type)
+    if c is None:
+        return None
+    return ONE - c
+
+
+def is_inverting(gate_type: GateType) -> bool:
+    """True for gates whose output inverts the sensitized input (NOT/NAND/NOR/XNOR)."""
+    return gate_type in _INVERTING
+
+
+def inversion_parity(gate_type: GateType) -> int:
+    """1 for inverting gates, 0 otherwise (used for path transition polarity)."""
+    return 1 if gate_type in _INVERTING else 0
+
+
+def evaluate(gate_type: GateType, inputs: Sequence[int]) -> int:
+    """Evaluate a gate over three-valued inputs.
+
+    ``inputs`` must be non-empty for every type except :class:`GateType.INPUT`
+    and :class:`GateType.DFF`, which are not evaluable here.
+    """
+    if gate_type == GateType.BUF:
+        return inputs[0]
+    if gate_type == GateType.NOT:
+        return v_not(inputs[0])
+    if gate_type == GateType.AND:
+        return v_and_all(inputs)
+    if gate_type == GateType.NAND:
+        return v_not(v_and_all(inputs))
+    if gate_type == GateType.OR:
+        return v_or_all(inputs)
+    if gate_type == GateType.NOR:
+        return v_not(v_or_all(inputs))
+    if gate_type == GateType.XOR:
+        return v_xor_all(inputs)
+    if gate_type == GateType.XNOR:
+        return v_not(v_xor_all(inputs))
+    raise ValueError(f"gate type {gate_type} is not evaluable")
+
+
+def evaluate_word(gate_type: GateType, inputs: Sequence[int], mask: int) -> int:
+    """Evaluate a gate bitwise over pattern-packed integer words.
+
+    Each bit position of the word carries an independent 0/1 pattern;
+    ``mask`` has a 1 in every live bit position and is used to implement
+    bitwise NOT without sign issues.
+    """
+    if gate_type == GateType.BUF:
+        return inputs[0]
+    if gate_type == GateType.NOT:
+        return inputs[0] ^ mask
+    if gate_type == GateType.AND or gate_type == GateType.NAND:
+        out = mask
+        for w in inputs:
+            out &= w
+        if gate_type == GateType.NAND:
+            out ^= mask
+        return out
+    if gate_type == GateType.OR or gate_type == GateType.NOR:
+        out = 0
+        for w in inputs:
+            out |= w
+        if gate_type == GateType.NOR:
+            out ^= mask
+        return out
+    if gate_type == GateType.XOR or gate_type == GateType.XNOR:
+        out = 0
+        for w in inputs:
+            out ^= w
+        if gate_type == GateType.XNOR:
+            out ^= mask
+        return out
+    raise ValueError(f"gate type {gate_type} is not evaluable")
+
+
+def parse_gate_type(token: str) -> GateType:
+    """Parse a gate-type token as found in ``.bench`` files.
+
+    Accepts any casing plus the common aliases ``BUFF``/``INV``.
+    """
+    t = token.strip().upper()
+    if t == "BUFF":
+        t = "BUF"
+    if t == "INV":
+        t = "NOT"
+    try:
+        return GateType(t)
+    except ValueError:
+        raise ValueError(f"unknown gate type token: {token!r}") from None

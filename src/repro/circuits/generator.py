@@ -1,0 +1,189 @@
+"""Deterministic synthetic sequential-circuit generator.
+
+The dissertation's experiments run on ISCAS89 / ITC99 / IWLS2005 benchmark
+netlists.  Only ``s27`` is embedded verbatim in this repository
+(:mod:`repro.circuits.benchmarks`); every other benchmark is *synthesized*
+by this module: a seeded pseudo-random netlist with the same interface
+parameterisation (number of primary inputs/outputs, flip-flops, gates) and
+the structural features the algorithms under study depend on --
+reconvergent fanout, mixed inverting/non-inverting gate types, next-state
+logic mixing primary inputs and present state, and a non-trivial reachable
+state space from the all-0 reset state.
+
+Generation is fully deterministic in ``(name, seed, parameters)`` so every
+test and benchmark sees the same circuit.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.circuits.gates import GateType, evaluate_word
+from repro.circuits.netlist import Circuit
+
+#: Gate types drawn by the generator, with selection weights.  The mix
+#: leans on NAND/NOR (as technology-mapped benchmark netlists do) while
+#: keeping enough XOR to create random-pattern-resistant faults.
+_GATE_MENU: list[tuple[GateType, float]] = [
+    (GateType.NAND, 0.26),
+    (GateType.NOR, 0.18),
+    (GateType.AND, 0.16),
+    (GateType.OR, 0.14),
+    (GateType.NOT, 0.14),
+    (GateType.XOR, 0.06),
+    (GateType.BUF, 0.03),
+    (GateType.XNOR, 0.03),
+]
+
+
+@dataclass(frozen=True)
+class GeneratorSpec:
+    """Interface and size parameters for a synthetic circuit."""
+
+    name: str
+    n_inputs: int
+    n_outputs: int
+    n_flops: int
+    n_gates: int
+    seed: int = 0
+    max_fanin: int = 4
+    locality: int = 24  # how strongly gate inputs prefer recently created lines
+
+
+def _pick_gate_type(rng: random.Random, fanin: int) -> GateType:
+    while True:
+        r = rng.random()
+        acc = 0.0
+        picked = GateType.NAND
+        for gate_type, weight in _GATE_MENU:
+            acc += weight
+            if r <= acc:
+                picked = gate_type
+                break
+        if fanin == 1 and picked in (GateType.XOR, GateType.XNOR):
+            continue
+        return picked
+
+
+def generate(spec: GeneratorSpec) -> Circuit:
+    """Generate a circuit from a :class:`GeneratorSpec`.
+
+    The construction builds a levelized random DAG over the primary inputs
+    and present-state lines, then closes the sequential loop by wiring each
+    flip-flop's D input to a gate output deep in the DAG, and finally picks
+    primary outputs from the remaining gate outputs.
+    """
+    if spec.n_gates < max(spec.n_flops, spec.n_outputs, 1):
+        raise ValueError(f"{spec.name}: need at least as many gates as flops/outputs")
+    rng = random.Random(f"{spec.name}/{spec.seed}/{spec.n_gates}")
+    circuit = Circuit(name=spec.name)
+    for i in range(spec.n_inputs):
+        circuit.add_input(f"pi{i}")
+
+    state_lines = [f"q{i}" for i in range(spec.n_flops)]
+    level0 = [f"pi{i}" for i in range(spec.n_inputs)] + state_lines
+    levels: dict[str, int] = {line: 0 for line in level0}
+
+    # Explicit level structure: real technology-mapped benchmarks have
+    # logic depth around 1.5-2x log2(gate count) with reconvergence that is
+    # mostly *local* (fanout branches re-merge within a few levels).  Gates
+    # draw inputs primarily from the previous level, sometimes from a small
+    # local window, rarely from anywhere below -- the rare long cross links
+    # provide global reconvergent fanout without making every long path a
+    # false path.
+    depth = max(4, round(1.8 * math.log2(max(spec.n_gates, 4))))
+    depth = min(depth, spec.n_gates)
+    base, extra = divmod(spec.n_gates, depth)
+    widths = [base + (1 if k < extra else 0) for k in range(depth)]
+
+    # Random-pattern signatures reject degenerate gates: reconvergent
+    # combinations that come out constant (untestable logic real synthesis
+    # would sweep away) or that merely copy/invert one of their inputs.
+    sig_bits = 256
+    sig_mask = (1 << sig_bits) - 1
+    signatures: dict[str, int] = {
+        line: rng.getrandbits(sig_bits) for line in level0
+    }
+
+    level_lines: list[list[str]] = [list(level0)]
+    available: list[str] = list(level0)
+    gate_names: list[str] = []
+    consumed: set[str] = set()
+    gate_index = 0
+    for k, width in enumerate(widths, start=1):
+        new_level: list[str] = []
+        prev = level_lines[k - 1]
+        window = [l for lv in level_lines[max(0, k - 4) : k] for l in lv]
+        for _ in range(width):
+            chosen: list[str] = []
+            gate_type = GateType.NAND
+            for _retry in range(8):
+                fanin = rng.choice([1, 2, 2, 2, 2, 3, spec.max_fanin])
+                gate_type = _pick_gate_type(rng, fanin)
+                if gate_type in (GateType.NOT, GateType.BUF):
+                    fanin = 1
+                chosen = []
+                attempts = 0
+                while len(chosen) < fanin and attempts < 60:
+                    attempts += 1
+                    r = rng.random()
+                    if len(chosen) == 0:
+                        # The "spine" input continues a path from the
+                        # previous level, preferring unconsumed lines so
+                        # most lines keep fanout 1 (tree-like spines).
+                        fresh = [l for l in prev if l not in consumed]
+                        src = rng.choice(fresh) if fresh else rng.choice(prev)
+                    elif r < 0.50:
+                        # Side inputs often come straight from primary
+                        # inputs / state lines, as in mapped control logic;
+                        # these never multiply path counts.
+                        src = rng.choice(level0)
+                    elif r < 0.88:
+                        fresh = [l for l in window if l not in consumed]
+                        src = rng.choice(fresh) if fresh else rng.choice(window)
+                    else:
+                        src = rng.choice(available)
+                    if src not in chosen:
+                        chosen.append(src)
+                sig = evaluate_word(
+                    gate_type, [signatures[s] for s in chosen], sig_mask
+                )
+                degenerate = sig in (0, sig_mask) or any(
+                    sig == signatures[s] or sig == signatures[s] ^ sig_mask
+                    for s in chosen
+                ) and gate_type not in (GateType.BUF, GateType.NOT)
+                if not degenerate:
+                    break
+            name = f"n{gate_index}"
+            gate_index += 1
+            circuit.add_gate(name, gate_type, chosen)
+            signatures[name] = evaluate_word(
+                gate_type, [signatures[s] for s in chosen], sig_mask
+            )
+            consumed.update(chosen)
+            levels[name] = 1 + max(levels[src] for src in chosen)
+            gate_names.append(name)
+            available.append(name)
+            new_level.append(name)
+        level_lines.append(new_level)
+    unused = [l for l in available if l not in consumed]
+
+    # Close the sequential loop and pick primary outputs from the dangling
+    # (so-far unconsumed) lines first, so nearly every line reaches an
+    # observation point, as in real benchmark netlists.
+    dangling = [l for l in unused if l in circuit.gates]
+    rng.shuffle(dangling)
+    extra = [g for g in gate_names if g not in set(dangling)]
+    rng.shuffle(extra)
+    sinks = dangling + extra
+    for i, q in enumerate(state_lines):
+        circuit.add_dff(q=q, d=sinks[i % len(sinks)])
+    used_d = set(circuit.next_state_lines)
+    po_pool = [g for g in sinks if g not in used_d] or list(sinks)
+    for i in range(spec.n_outputs):
+        circuit.add_output(po_pool[i % len(po_pool)])
+
+    circuit.validate()
+    return circuit

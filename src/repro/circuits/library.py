@@ -1,0 +1,104 @@
+"""Generic technology library: per-gate delays and areas.
+
+Stand-in for the simplified TSMC 0.18um library used in the dissertation's
+experiments (Chapters 3 and 4).  Delays are separate for rising and falling
+output transitions and grow mildly with fan-in, mirroring real standard-cell
+behaviour.  The smallest delay in the library is the rising delay of an
+inverter, 0.03 ns -- the paper's "unit delay" used in Table 3.4's
+``diff_unit`` row.
+
+Area figures are in um^2 per cell and feed the BIST area-overhead model
+(:mod:`repro.bist.area`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuits.gates import GateType
+from repro.circuits.netlist import Circuit
+
+#: The paper's unit delay: the rising delay of an inverter, in ns.
+UNIT_DELAY_NS = 0.03
+
+
+@dataclass(frozen=True)
+class CellTiming:
+    """Rise/fall delays (ns) of a cell at a reference fan-in."""
+
+    rise: float
+    fall: float
+
+
+@dataclass(frozen=True)
+class TechLibrary:
+    """A tiny standard-cell library.
+
+    ``delay(gate_type, fanin, edge)`` returns the propagation delay to a
+    rising (``edge='rise'``) or falling output edge.  Fan-in beyond 2 adds
+    ``fanin_penalty`` per extra input; a ``load_penalty`` per fanout branch
+    models interconnect and is applied by the STA engine.
+    """
+
+    name: str = "generic180"
+    base: dict[GateType, CellTiming] | None = None
+    fanin_penalty: float = 0.012
+    load_penalty: float = 0.004
+    area: dict[GateType, float] | None = None
+    flop_area: float = 48.0
+    latch_area: float = 24.0
+    mux_area: float = 14.0
+
+    def __post_init__(self) -> None:
+        if self.base is None:
+            object.__setattr__(
+                self,
+                "base",
+                {
+                    GateType.BUF: CellTiming(rise=0.05, fall=0.05),
+                    GateType.NOT: CellTiming(rise=UNIT_DELAY_NS, fall=0.04),
+                    GateType.AND: CellTiming(rise=0.09, fall=0.08),
+                    GateType.NAND: CellTiming(rise=0.06, fall=0.05),
+                    GateType.OR: CellTiming(rise=0.10, fall=0.09),
+                    GateType.NOR: CellTiming(rise=0.08, fall=0.06),
+                    GateType.XOR: CellTiming(rise=0.12, fall=0.12),
+                    GateType.XNOR: CellTiming(rise=0.13, fall=0.12),
+                },
+            )
+        if self.area is None:
+            object.__setattr__(
+                self,
+                "area",
+                {
+                    GateType.BUF: 7.0,
+                    GateType.NOT: 5.0,
+                    GateType.AND: 12.0,
+                    GateType.NAND: 9.0,
+                    GateType.OR: 12.0,
+                    GateType.NOR: 9.0,
+                    GateType.XOR: 20.0,
+                    GateType.XNOR: 20.0,
+                },
+            )
+
+    def delay(self, gate_type: GateType, fanin: int, edge: str) -> float:
+        """Propagation delay (ns) for the given output ``edge`` (``rise``/``fall``)."""
+        timing = self.base[gate_type]  # type: ignore[index]
+        base = timing.rise if edge == "rise" else timing.fall
+        return base + self.fanin_penalty * max(0, fanin - 2)
+
+    def gate_area(self, gate_type: GateType, fanin: int) -> float:
+        """Cell area (um^2), with wider cells for higher fan-in."""
+        base = self.area[gate_type]  # type: ignore[index]
+        return base * (1.0 + 0.35 * max(0, fanin - 2))
+
+    def circuit_area(self, circuit: Circuit) -> float:
+        """Total standard-cell area of a circuit including flip-flops."""
+        total = self.flop_area * len(circuit.flops)
+        for gate in circuit.gates.values():
+            total += self.gate_area(gate.gate_type, len(gate.inputs))
+        return total
+
+
+#: Default library instance used across the package.
+DEFAULT_LIBRARY = TechLibrary()

@@ -1,0 +1,167 @@
+"""Scan insertion: chain partitioning, structural transform, waveforms.
+
+Covers the dissertation's scan infrastructure (Section 1.3):
+
+* :class:`ScanChains` -- behavioural scan-chain configuration.  The
+  experiments in Section 4.6 assume *at most 10 scan chains*, each *at
+  least 100 cells long*, of approximately equal length; the
+  :meth:`ScanChains.partition` constructor implements exactly that rule.
+* :func:`insert_scan` -- the structural transform of Fig 1.8: every
+  flip-flop's D input is replaced by a multiplexer selecting between the
+  functional D and the previous scan cell (or a scan-in port) under a new
+  ``SE`` (scan enable) primary input.
+* :func:`broadside_waveform` / :func:`skewed_load_waveform` -- the
+  clock/SE event traces of Figs 1.9 and 1.10, used to document why SE has
+  more time to change under broadside tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuits.netlist import Circuit
+
+
+@dataclass(frozen=True)
+class ScanChains:
+    """A partition of a circuit's flip-flops into scan chains."""
+
+    chains: tuple[tuple[str, ...], ...]
+
+    @classmethod
+    def partition(
+        cls,
+        circuit: Circuit,
+        max_chains: int = 10,
+        min_length: int = 100,
+    ) -> "ScanChains":
+        """Partition flops into balanced chains per the Section 4.6 rule.
+
+        The number of chains is the largest ``n <= max_chains`` such that
+        every chain still has at least ``min_length`` cells -- and at least
+        one chain regardless of circuit size.
+        """
+        flops = [f.q for f in circuit.flops]
+        if not flops:
+            return cls(chains=())
+        n_chains = max(1, min(max_chains, len(flops) // min_length))
+        base, extra = divmod(len(flops), n_chains)
+        chains: list[tuple[str, ...]] = []
+        pos = 0
+        for i in range(n_chains):
+            size = base + (1 if i < extra else 0)
+            chains.append(tuple(flops[pos : pos + size]))
+            pos += size
+        return cls(chains=tuple(chains))
+
+    @property
+    def num_chains(self) -> int:
+        """Number of scan chains."""
+        return len(self.chains)
+
+    @property
+    def max_length(self) -> int:
+        """Length of the longest scan chain (the paper's ``Lsc``)."""
+        return max((len(c) for c in self.chains), default=0)
+
+    @property
+    def num_cells(self) -> int:
+        """Total number of scan cells."""
+        return sum(len(c) for c in self.chains)
+
+    def chain_of(self, flop: str) -> int:
+        """Index of the chain containing ``flop``."""
+        for i, chain in enumerate(self.chains):
+            if flop in chain:
+                return i
+        raise KeyError(flop)
+
+
+def insert_scan(circuit: Circuit, chains: ScanChains | None = None) -> Circuit:
+    """Structural mux-scan insertion (Fig 1.8).
+
+    Returns a new circuit with primary inputs ``SE`` and ``SI<k>`` and
+    primary outputs ``SO<k>`` per chain; each flop ``q``'s D input becomes
+    ``(SE AND prev) OR (NOT SE AND d)`` where ``prev`` is the previous cell
+    in its chain (or the chain's scan-in port).
+    """
+    if chains is None:
+        chains = ScanChains.partition(circuit)
+    scanned = circuit.copy(name=f"{circuit.name}_scan")
+    se = scanned.add_input("SE")
+    se_n = scanned.add_gate("SE_n", "NOT", [se])
+    # Rebuild flops with muxed D inputs.
+    old_flops = {f.q: f.d for f in scanned.flops}
+    scanned.flops.clear()
+    scanned._invalidate()
+    for k, chain in enumerate(chains.chains):
+        prev = scanned.add_input(f"SI{k}")
+        for q in chain:
+            d = old_flops[q]
+            shift = scanned.add_gate(f"{q}_shift", "AND", [se, prev])
+            func = scanned.add_gate(f"{q}_func", "AND", [se_n, d])
+            mux = scanned.add_gate(f"{q}_mux", "OR", [shift, func])
+            scanned.add_dff(q=q, d=mux)
+            prev = q
+        scanned.add_output(prev)  # SO<k> observes the last cell in the chain
+    scanned.validate()
+    return scanned
+
+
+@dataclass(frozen=True)
+class WaveformEvent:
+    """One clock event in a scan test-application waveform."""
+
+    cycle: int
+    phase: str  # 'shift' | 'launch' | 'capture'
+    se: int  # scan-enable value when the edge fires
+    at_speed: bool  # True when the edge belongs to the fast (capture) clock
+
+
+def broadside_waveform(n_shift: int) -> list[WaveformEvent]:
+    """Clock/SE trace for a broadside (launch-off-capture) test, Fig 1.10.
+
+    SE drops after the last shift and *before* the launch edge; the circuit
+    itself produces the second pattern, so both launch and capture run with
+    SE low at functional speed.
+    """
+    events = [WaveformEvent(c, "shift", 1, False) for c in range(n_shift)]
+    events.append(WaveformEvent(n_shift, "launch", 0, True))
+    events.append(WaveformEvent(n_shift + 1, "capture", 0, True))
+    events.extend(
+        WaveformEvent(n_shift + 2 + c, "shift", 1, False) for c in range(n_shift)
+    )
+    return events
+
+
+def skewed_load_waveform(n_shift: int) -> list[WaveformEvent]:
+    """Clock/SE trace for a skewed-load (launch-off-shift) test, Fig 1.9.
+
+    The launch edge is the last shift (SE still high); SE must then switch
+    within a single at-speed cycle before capture -- the expensive
+    requirement that motivates broadside testing (Section 1.3).
+    """
+    events = [WaveformEvent(c, "shift", 1, False) for c in range(n_shift)]
+    events.append(WaveformEvent(n_shift, "launch", 1, True))
+    events.append(WaveformEvent(n_shift + 1, "capture", 0, True))
+    events.extend(
+        WaveformEvent(n_shift + 2 + c, "shift", 1, False) for c in range(n_shift)
+    )
+    return events
+
+
+def se_transition_at_speed(waveform: list[WaveformEvent]) -> bool:
+    """Whether SE must switch within a single at-speed clock period.
+
+    This is the key practical difference between the two scan styles
+    (Section 1.3): under a skewed-load test SE falls *between the launch
+    and capture edges*, both of which run at the designed clock rate, so a
+    high-speed SE network is required (returns ``True``).  Under a
+    broadside test SE falls between the last (slow) shift edge and the
+    launch edge, leaving a slow-clock period for the change (``False``).
+    """
+    ordered = sorted(waveform, key=lambda e: e.cycle)
+    for prev, cur in zip(ordered, ordered[1:]):
+        if prev.se == 1 and cur.se == 0:
+            return prev.at_speed and cur.at_speed
+    raise ValueError("waveform has no SE 1->0 transition")

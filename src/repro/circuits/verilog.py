@@ -1,0 +1,100 @@
+"""Structural Verilog netlist writer.
+
+The dissertation's tool flow consumed RTL/gate-level Verilog (Appendix A:
+Design Compiler, PrimeTime, DFTAdvisor all operate on Verilog netlists).
+This module emits a synthesizable structural Verilog module for any
+:class:`Circuit`, so circuits built or generated here can be handed to
+external EDA tools -- and, conversely, the writer/identifier-mangling pair
+is round-trip tested against the ``.bench`` reader.
+
+Gates map to Verilog primitives (``and``, ``nand``, ``or``, ``nor``,
+``xor``, ``xnor``, ``not``, ``buf``); flip-flops become an ``always
+@(posedge clk)`` block.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.circuits.gates import GateType
+from repro.circuits.netlist import Circuit
+
+_PRIMITIVES = {
+    GateType.AND: "and",
+    GateType.NAND: "nand",
+    GateType.OR: "or",
+    GateType.NOR: "nor",
+    GateType.XOR: "xor",
+    GateType.XNOR: "xnor",
+    GateType.NOT: "not",
+    GateType.BUF: "buf",
+}
+
+_ID_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_$]*$")
+
+
+def mangle(name: str) -> str:
+    """Make a line name a legal Verilog identifier (deterministic)."""
+    if _ID_RE.match(name):
+        return name
+    safe = re.sub(r"[^A-Za-z0-9_$]", "_", name)
+    if not safe or not (safe[0].isalpha() or safe[0] == "_"):
+        safe = "n_" + safe
+    return safe
+
+
+def dumps(circuit: Circuit, clock: str = "clk") -> str:
+    """Render a circuit as a structural Verilog module."""
+    names: dict[str, str] = {}
+    used: set[str] = {clock}
+    for line in circuit.lines:
+        candidate = mangle(line)
+        while candidate in used:
+            candidate += "_"
+        names[line] = candidate
+        used.add(candidate)
+
+    module = mangle(circuit.name)
+    inputs = [names[pi] for pi in circuit.inputs]
+    outputs = []
+    seen_po: set[str] = set()
+    for po in circuit.outputs:
+        if po not in seen_po:
+            seen_po.add(po)
+            outputs.append(po)
+
+    lines = [f"module {module} ("]
+    ports = [clock] + inputs + [f"{names[po]}_po" for po in outputs]
+    lines.append("    " + ",\n    ".join(ports))
+    lines.append(");")
+    lines.append(f"  input {clock};")
+    for pi in inputs:
+        lines.append(f"  input {pi};")
+    for po in outputs:
+        lines.append(f"  output {names[po]}_po;")
+    for q in circuit.state_lines:
+        lines.append(f"  reg {names[q]};")
+    for gate in circuit.topo_gates:
+        lines.append(f"  wire {names[gate.name]};")
+    lines.append("")
+    for gate in circuit.topo_gates:
+        prim = _PRIMITIVES[gate.gate_type]
+        args = [names[gate.name]] + [names[i] for i in gate.inputs]
+        lines.append(f"  {prim} g_{names[gate.name]} ({', '.join(args)});")
+    lines.append("")
+    for po in outputs:
+        lines.append(f"  buf b_{names[po]}_po ({names[po]}_po, {names[po]});")
+    if circuit.flops:
+        lines.append("")
+        lines.append(f"  always @(posedge {clock}) begin")
+        for flop in circuit.flops:
+            lines.append(f"    {names[flop.q]} <= {names[flop.d]};")
+        lines.append("  end")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def dump(circuit: Circuit, path: str | Path, clock: str = "clk") -> None:
+    """Write a circuit to a ``.v`` file."""
+    Path(path).write_text(dumps(circuit, clock=clock))

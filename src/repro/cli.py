@@ -1,0 +1,244 @@
+"""Command-line interface: ``repro-eda``.
+
+Subcommands mirror the paper's three methods plus utilities::
+
+    repro-eda circuits                      # list the benchmark registry
+    repro-eda info s298                     # circuit + TPG parameters
+    repro-eda generate s298 --driver s953   # Chapter 4 flow (opt. --hold)
+    repro-eda tpdf s27 --max-faults 60      # Chapter 2 pipeline
+    repro-eda select-paths s298 --n 6       # Chapter 3 procedure
+    repro-eda table 4.3                     # regenerate a paper table
+
+All output is plain text; every command is deterministic for fixed seeds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+
+def _cmd_circuits(args: argparse.Namespace) -> int:
+    from repro.circuits.benchmarks import available, entry
+
+    print(f"{'name':12s} {'family':8s} {'PI':>4s} {'PO':>4s} {'FF':>5s} {'gates':>6s}  flags")
+    for name in available():
+        e = entry(name)
+        flags = []
+        if not e.synthetic:
+            flags.append("real")
+        if e.scaled:
+            flags.append("scaled")
+        print(
+            f"{e.name:12s} {e.family:8s} {e.n_inputs:4d} {e.n_outputs:4d} "
+            f"{e.n_flops:5d} {e.n_gates:6d}  {','.join(flags) or '-'}"
+        )
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    from repro.bist.tpg import DevelopedTpg
+    from repro.circuits.benchmarks import get_circuit
+    from repro.circuits.scan import ScanChains
+    from repro.paths.enumeration import count_paths
+
+    circuit = get_circuit(args.circuit)
+    stats = circuit.stats()
+    for key, value in stats.items():
+        print(f"{key:10s} {value}")
+    print(f"{'paths':10s} {count_paths(circuit)}")
+    chains = ScanChains.partition(circuit)
+    print(f"{'chains':10s} {chains.num_chains} (Lsc={chains.max_length})")
+    tpg = DevelopedTpg.for_circuit(circuit)
+    print(
+        f"{'tpg':10s} LFSR={tpg.n_lfsr} SR={tpg.n_register_bits} "
+        f"NSP={tpg.cube.n_specified}"
+    )
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.circuits.benchmarks import get_circuit
+    from repro.core.builtin_gen import BuiltinGenConfig, BuiltinGenerator
+    from repro.core.embedded import compose, compose_with_buffers, estimate_swa_func
+    from repro.core.state_holding import run_with_state_holding
+    from repro.faults.collapse import collapse_transition
+    from repro.faults.lists import all_transition_faults
+
+    target = get_circuit(args.circuit)
+    faults = collapse_transition(target, all_transition_faults(target))
+    config = BuiltinGenConfig(
+        segment_length=args.length, time_limit=args.time_limit, rng_seed=args.seed
+    )
+    swa_func = None
+    if args.driver:
+        if args.driver == "buffers":
+            design = compose_with_buffers(target)
+        else:
+            design = compose(get_circuit(args.driver), target)
+        swa_func = estimate_swa_func(design, n_sequences=16, length=120).swa_func
+        print(f"SWA_func under {args.driver}: {swa_func:.2f}%")
+    result = BuiltinGenerator(target, faults, swa_func, config=config).run()
+    print(
+        f"Nmulti={result.n_multi} Nsegmax={result.n_seg_max} Lmax={result.l_max} "
+        f"Nseeds={result.n_seeds} Ntests={result.n_tests}"
+    )
+    print(f"peak SWA {result.peak_swa:.2f}%  FC {result.coverage:.2f}%")
+    print(
+        f"hardware {result.area.total:.0f} um^2 "
+        f"({result.area.overhead_percent:.2f}% overhead)"
+    )
+    if args.hold:
+        remaining = [f for f in faults if f not in result.detected]
+        holding = run_with_state_holding(
+            target, remaining, swa_func, tree_height=args.tree_height, config=config
+        )
+        improvement = 100.0 * len(holding.newly_detected) / len(faults)
+        print(
+            f"state holding: {holding.selection.n_sets} sets "
+            f"({holding.selection.n_bits} bits), +{improvement:.2f}% FC "
+            f"-> {result.coverage + improvement:.2f}%"
+        )
+    return 0
+
+
+def _cmd_tpdf(args: argparse.Namespace) -> int:
+    from repro.atpg.tpdf import ABORTED, DETECTED, TpdfPipeline, UNDETECTABLE
+    from repro.circuits.benchmarks import get_circuit
+    from repro.faults.lists import tpdf_list_all_paths, tpdf_list_longest_first
+    from repro.paths.enumeration import count_paths
+
+    circuit = get_circuit(args.circuit)
+    if count_paths(circuit) <= 4 * args.max_faults:
+        faults = tpdf_list_all_paths(circuit)[: args.max_faults]
+        workload = "all paths"
+    else:
+        faults = tpdf_list_longest_first(circuit, args.max_faults // 2)
+        workload = "longest paths"
+    pipeline = TpdfPipeline(
+        circuit,
+        heuristic_time_limit=args.time_limit / 4,
+        bnb_time_limit=args.time_limit,
+    )
+    report = pipeline.run(faults)
+    print(f"workload: {workload}, {len(faults)} TPDFs")
+    print(f"detected     {report.count(DETECTED)}")
+    print(f"undetectable {report.count(UNDETECTABLE)}")
+    print(f"aborted      {report.count(ABORTED)}")
+    print(f"total time   {report.total_time:.2f}s")
+    return 0
+
+
+def _cmd_select_paths(args: argparse.Namespace) -> int:
+    from repro.circuits.benchmarks import get_circuit
+    from repro.paths.selection import PathSelector
+
+    selector = PathSelector(get_circuit(args.circuit), closure_scan=24)
+    result = selector.run(n=args.n)
+    print(
+        f"Target_PDF: {result.original_size} before, {result.final_size} after "
+        f"({len(result.undetectable)} undetectable screened)"
+    )
+    for i, fault in enumerate(result.select(), start=1):
+        record = result.records[fault]
+        final = f"{record.final_delay:.3f}" if record.final_delay else "blocked"
+        print(
+            f"fp{i:<3d} original {record.original_delay:.3f} ns  final {final} ns"
+            f"  [{fault.direction} {fault.path}]"
+        )
+    print(f"selection differs from traditional STA in {result.unique_to_one_set()} fault(s)")
+    return 0
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    table = args.table
+    if table.startswith("2."):
+        from repro.experiments.tables2 import render_table, run_chapter2
+
+        if table in ("2.1", "2.3", "2.5"):
+            runs = run_chapter2(("s27", "s298"), mode="all", max_faults=150)
+        else:
+            runs = run_chapter2(
+                ("s526",), mode="longest", min_detected=6, max_faults=200
+            )
+        print(render_table(table, runs))
+    elif table == "3.1":
+        from repro.experiments.tables3 import render_table_3_1
+
+        print(render_table_3_1("s298", n=6))
+    elif table == "4.2":
+        from repro.experiments.format import render
+        from repro.experiments.tables4 import table_4_2_rows
+
+        rows = table_4_2_rows(("s27", "s298", "s344"))
+        print(render("Table 4.2", ["Circuit", "NPO", "NPI", "NSP", "NSV"], rows))
+    elif table == "4.3":
+        from repro.core.builtin_gen import BuiltinGenConfig
+        from repro.experiments.tables4 import render_table_4_3, run_table_4_3
+
+        cases = run_table_4_3(
+            targets=("s298",),
+            drivers=("s344", "s953"),
+            config=BuiltinGenConfig(segment_length=120, time_limit=10),
+        )
+        print(render_table_4_3(cases))
+    else:
+        print(f"unknown or unsupported table {table!r}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-eda",
+        description="Built-in generation of functional broadside tests "
+        "(DATE 2011 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("circuits", help="list benchmark circuits").set_defaults(
+        func=_cmd_circuits
+    )
+
+    p = sub.add_parser("info", help="circuit and TPG parameters")
+    p.add_argument("circuit")
+    p.set_defaults(func=_cmd_info)
+
+    p = sub.add_parser("generate", help="built-in functional broadside generation")
+    p.add_argument("circuit")
+    p.add_argument("--driver", help="driving block name or 'buffers'")
+    p.add_argument("--length", type=int, default=200, help="segment length L")
+    p.add_argument("--time-limit", type=float, default=30.0)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--hold", action="store_true", help="run the state-holding DFT")
+    p.add_argument("--tree-height", type=int, default=2)
+    p.set_defaults(func=_cmd_generate)
+
+    p = sub.add_parser("tpdf", help="transition path delay fault ATPG")
+    p.add_argument("circuit")
+    p.add_argument("--max-faults", type=int, default=100)
+    p.add_argument("--time-limit", type=float, default=2.0)
+    p.set_defaults(func=_cmd_tpdf)
+
+    p = sub.add_parser("select-paths", help="critical path selection")
+    p.add_argument("circuit")
+    p.add_argument("--n", type=int, default=6)
+    p.set_defaults(func=_cmd_select_paths)
+
+    p = sub.add_parser("table", help="regenerate a paper table")
+    p.add_argument("table", help="e.g. 2.1, 3.1, 4.2, 4.3")
+    p.set_defaults(func=_cmd_table)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

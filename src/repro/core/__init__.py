@@ -1,0 +1,31 @@
+"""High-level flows: the paper's primary contribution and its extensions.
+
+* :mod:`repro.core.embedded` -- embedded-block composition and SWA_func
+  estimation under functional input sequences.
+* :mod:`repro.core.functional` -- functional broadside test extraction.
+* :mod:`repro.core.builtin_gen` -- built-in generation of functional
+  broadside tests under primary input constraints (Fig 4.9).
+* :mod:`repro.core.state_holding` -- the optional state-holding DFT and
+  its set-selection procedure (Figs 4.10-4.13).
+* :mod:`repro.core.signal_patterns` -- the pattern-of-signal-transitions
+  extension sketched in the conclusions ([90]).
+"""
+
+from repro.core.builtin_gen import (
+    BuiltinGenConfig,
+    BuiltinGenerator,
+    BuiltinGenResult,
+)
+from repro.core.embedded import compose, compose_with_buffers, estimate_swa_func
+from repro.core.state_holding import run_with_state_holding, select_holding_sets
+
+__all__ = [
+    "BuiltinGenConfig",
+    "BuiltinGenerator",
+    "BuiltinGenResult",
+    "compose",
+    "compose_with_buffers",
+    "estimate_swa_func",
+    "run_with_state_holding",
+    "select_holding_sets",
+]

@@ -1,0 +1,317 @@
+"""Built-in generation of functional broadside tests under PI constraints.
+
+The paper's primary contribution (Sections 4.4, Fig 4.9): construct
+*multi-segment primary input sequences* -- each segment generated on chip
+by the TPG from its own LFSR seed -- such that, applied from a reachable
+initial state, every clock cycle's switching activity stays within
+``SWA_func`` (the peak possible under the embedding design's functional
+input sequences) while transition fault coverage is maximised.
+
+Construction procedure per Fig 4.9, with the paper's parameters ``R``
+(consecutive failing seeds before a multi-segment sequence is closed) and
+``Q`` (consecutive failing construction attempts before the whole process
+stops):
+
+1. start a sequence at the reachable initial state (all-0 here);
+2. draw a random LFSR seed, produce a length-``L`` segment, simulate it
+   from the current state, and truncate at the first cycle whose SWA
+   exceeds ``SWA_func`` (to an even boundary, so the segment ends at the
+   final state of its last complete test);
+3. keep the segment iff its tests detect new faults; the next segment
+   starts from its final state (the circuit's state is held while the new
+   seed loads);
+4. a segment of fewer than two cycles or with no new detections counts as
+   a failure.
+
+With a non-empty ``hold_set`` the same construction runs under the
+state-holding DFT of Section 4.5 (used for the coverage-improvement pass).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.bist.area import AreaReport, estimate_area
+from repro.bist.counters import ControllerCounters
+from repro.bist.tpg import DevelopedTpg
+from repro.circuits.netlist import Circuit
+from repro.circuits.scan import ScanChains
+from repro.faults.fsim import FaultGrader, compact_groups
+from repro.faults.models import TransitionFault
+from repro.logic.patterns import BroadsideTest
+from repro.logic.simulator import extract_tests_from_sequence, simulate_sequence
+
+
+@dataclass(frozen=True)
+class SegmentRecord:
+    """One accepted TPG segment within a multi-segment sequence."""
+
+    seed: int
+    length: int
+    n_tests: int
+    n_new_detections: int
+    peak_swa: float
+
+
+@dataclass
+class MultiSegmentSequence:
+    """An accepted multi-segment primary input sequence."""
+
+    segments: list[SegmentRecord] = field(default_factory=list)
+
+    @property
+    def n_segments(self) -> int:
+        return len(self.segments)
+
+    @property
+    def longest_segment(self) -> int:
+        return max((s.length for s in self.segments), default=0)
+
+
+@dataclass
+class BuiltinGenConfig:
+    """Tunable parameters of the construction procedure."""
+
+    segment_length: int = 300  # the paper's L
+    r_limit: int = 3  # R: consecutive seed failures closing a sequence
+    q_limit: int = 5  # Q: consecutive failed sequences stopping the process
+    spacing: int = 2  # tests every 2**q cycles, q = 1
+    hold_period_log2: int = 2  # h: state holding every 2**h cycles
+    rng_seed: int = 1
+    max_sequences: int = 200  # safety cap
+    time_limit: float | None = None  # optional wall-clock cap (seconds)
+
+
+@dataclass
+class BuiltinGenResult:
+    """Everything Tables 4.3 / 4.4 report for one run."""
+
+    sequences: list[MultiSegmentSequence]
+    tests: list[BroadsideTest]
+    swa_bound: float | None
+    peak_swa: float
+    detected: set[TransitionFault]
+    coverage: float
+    counters: ControllerCounters
+    area: AreaReport
+
+    @property
+    def n_multi(self) -> int:
+        """Number of multi-segment sequences (Table 4.3 ``Nmulti``)."""
+        return len(self.sequences)
+
+    @property
+    def n_seg_max(self) -> int:
+        """Largest number of segments in one sequence (``Nsegmax``)."""
+        return max((s.n_segments for s in self.sequences), default=0)
+
+    @property
+    def l_max(self) -> int:
+        """Longest primary input segment (``Lmax``)."""
+        return max((s.longest_segment for s in self.sequences), default=0)
+
+    @property
+    def n_seeds(self) -> int:
+        """Number of selected LFSR seeds (``Nseeds``)."""
+        return sum(s.n_segments for s in self.sequences)
+
+    @property
+    def n_tests(self) -> int:
+        """Number of applied tests (``Ntests``)."""
+        return len(self.tests)
+
+
+class BuiltinGenerator:
+    """Built-in functional broadside test generation for one target circuit."""
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        faults: Sequence[TransitionFault],
+        swa_func: float | None,
+        tpg: DevelopedTpg | None = None,
+        config: BuiltinGenConfig | None = None,
+        initial_state: Sequence[int] | None = None,
+        pattern_bank=None,
+    ):
+        """``pattern_bank`` (a :class:`repro.core.signal_patterns.
+        FunctionalPatternBank`) switches segment truncation from the SWA
+        bound to the stricter pattern-of-signal-transitions rule of [90]
+        (the Section 5.1 future-work metric): a cycle is admissible only
+        if its set of toggling (line, direction) pairs is a subset of a
+        pattern observed under the functional input sequences.  Not
+        combinable with state holding (holding deliberately leaves the
+        functional pattern space)."""
+        self.circuit = circuit
+        self.config = config or BuiltinGenConfig()
+        self.tpg = tpg or DevelopedTpg.for_circuit(circuit)
+        self.swa_func = swa_func  # None = unconstrained ("buffers" column)
+        self.pattern_bank = pattern_bank
+        self.initial_state = tuple(initial_state or [0] * len(circuit.flops))
+        self.grader = FaultGrader(circuit, faults)
+        self.rng = random.Random(self.config.rng_seed)
+        self.chains = ScanChains.partition(circuit)
+
+    # ------------------------------------------------------------------
+    def run(self, hold_set: Sequence[str] | None = None) -> BuiltinGenResult:
+        """Run the full construction procedure (Fig 4.9)."""
+        cfg = self.config
+        deadline = time.monotonic() + cfg.time_limit if cfg.time_limit else None
+        sequences: list[MultiSegmentSequence] = []
+        per_sequence_tests: list[list[BroadsideTest]] = []
+        detection_sets: list[set[TransitionFault]] = []
+        peak_swa = 0.0
+        q_failures = 0
+        while q_failures < cfg.q_limit and len(sequences) < cfg.max_sequences:
+            if deadline and time.monotonic() > deadline:
+                break
+            multi, tests, detected, peak = self._construct_sequence(hold_set, deadline)
+            if not multi.segments:
+                q_failures += 1
+                continue
+            q_failures = 0
+            sequences.append(multi)
+            per_sequence_tests.append(tests)
+            detection_sets.append(detected)
+            peak_swa = max(peak_swa, peak)
+        # Seed-set reduction: drop whole sequences that no longer
+        # contribute coverage (reverse-order / forward-looking pass, [89]).
+        kept = compact_groups(detection_sets).kept
+        sequences = [sequences[i] for i in kept]
+        all_tests = [t for i in kept for t in per_sequence_tests[i]]
+        peak_swa = max(
+            (seg.peak_swa for s in sequences for seg in s.segments), default=0.0
+        )
+        counters = ControllerCounters(
+            l_max=max((s.longest_segment for s in sequences), default=2),
+            l_scan=self.chains.max_length,
+            n_seg_max=max((s.n_segments for s in sequences), default=1),
+            n_multi=max(len(sequences), 1),
+            n_hold_sets=1 if hold_set else 0,
+        )
+        area = estimate_area(
+            self.circuit,
+            self.tpg,
+            counters,
+            n_seeds=sum(s.n_segments for s in sequences),
+            n_lfsr=self.tpg.n_lfsr,
+            n_hold_sets=1 if hold_set else 0,
+            n_held_bits=len(hold_set or ()),
+        )
+        return BuiltinGenResult(
+            sequences=sequences,
+            tests=all_tests,
+            swa_bound=self.swa_func,
+            peak_swa=peak_swa,
+            detected=set(self.grader.detected),
+            coverage=self.grader.coverage,
+            counters=counters,
+            area=area,
+        )
+
+    # ------------------------------------------------------------------
+    def _simulate(
+        self,
+        state: Sequence[int],
+        pi_vectors: Sequence[Sequence[int]],
+        hold_set: Sequence[str] | None,
+    ):
+        if hold_set:
+            if self.pattern_bank is not None:
+                raise ValueError(
+                    "pattern-bound generation cannot be combined with state "
+                    "holding: held transitions leave the functional pattern space"
+                )
+            from repro.core.state_holding import simulate_with_holding
+
+            return simulate_with_holding(
+                self.circuit,
+                state,
+                pi_vectors,
+                hold_set=hold_set,
+                hold_period_log2=self.config.hold_period_log2,
+            )
+        return simulate_sequence(
+            self.circuit,
+            state,
+            pi_vectors,
+            keep_line_values=self.pattern_bank is not None,
+        )
+
+    def _construct_sequence(
+        self, hold_set: Sequence[str] | None, deadline: float | None
+    ) -> tuple[MultiSegmentSequence, list[BroadsideTest], set[TransitionFault], float]:
+        cfg = self.config
+        multi = MultiSegmentSequence()
+        tests: list[BroadsideTest] = []
+        detected: set[TransitionFault] = set()
+        state = self.initial_state
+        peak = 0.0
+        r_failures = 0
+        while r_failures < cfg.r_limit:
+            if deadline and time.monotonic() > deadline:
+                break
+            seed = self.rng.getrandbits(self.tpg.n_lfsr) or 1
+            pi_vectors = self.tpg.sequence(seed, cfg.segment_length)
+            result = self._simulate(state, pi_vectors, hold_set)
+            length = self._truncate_length(result)
+            if length < cfg.spacing:
+                r_failures += 1
+                continue
+            seg_tests = extract_tests_from_sequence(
+                self.circuit, result, pi_vectors[:length], spacing=cfg.spacing
+            )
+            newly = self.grader.preview(seg_tests)
+            if not newly:
+                r_failures += 1
+                continue
+            self.grader.commit(newly)
+            r_failures = 0
+            seg_peak = max(result.switching[1:length], default=0.0)
+            multi.segments.append(
+                SegmentRecord(
+                    seed=seed,
+                    length=length,
+                    n_tests=len(seg_tests),
+                    n_new_detections=len(newly),
+                    peak_swa=seg_peak,
+                )
+            )
+            tests.extend(seg_tests)
+            detected |= newly
+            peak = max(peak, seg_peak)
+            state = result.states[length]
+        return multi, tests, detected, peak
+
+    def _truncate_length(self, result) -> int:
+        """Largest even prefix whose every cycle respects the active bound.
+
+        Per Section 4.4: with the first violation at cycle ``j+1``, the
+        segment is ``P(0..j-1)`` when ``j`` is even, else ``P(0..j-2)``,
+        so the segment ends at the final state of its last complete test.
+        With a ``pattern_bank``, a cycle violates when its pattern of
+        signal-transitions is not admitted ([90]); otherwise when its SWA
+        exceeds ``swa_func``.
+        """
+        length = len(result.switching)
+        if self.pattern_bank is not None:
+            from repro.core.signal_patterns import transition_pattern
+
+            for i in range(1, len(result.line_values)):
+                pattern = transition_pattern(
+                    result.line_values[i - 1], result.line_values[i]
+                )
+                if not self.pattern_bank.admits(pattern):
+                    j = i - 1
+                    length = j if j % 2 == 0 else j - 1
+                    break
+        elif self.swa_func is not None:
+            for i in range(1, length):
+                if result.switching[i] > self.swa_func + 1e-9:
+                    j = i - 1
+                    length = j if j % 2 == 0 else j - 1
+                    break
+        return max(0, length - (length % 2))

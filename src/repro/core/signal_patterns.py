@@ -1,0 +1,108 @@
+"""Patterns of signal-transitions ([90], Section 5.1 future work).
+
+The dissertation's future-work metric: instead of bounding only the
+*count* of switching lines per state-transition, require every test
+state-transition's **pattern of signal-transitions** -- the set of
+(line, transition-direction) pairs that toggle -- to be a *subset* of a
+pattern observed under the functional input sequences.  This excludes
+both excessive switching and signal transitions that can never happen in
+functional mode (the slow-path overtesting the SWA metric misses).
+
+Implemented here as the extension the conclusions call for:
+
+* :func:`transition_pattern` -- the pattern of one state-transition;
+* :class:`FunctionalPatternBank` -- patterns collected from functional
+  sequences, with the subset admissibility query;
+* :func:`admissible_prefix_length` -- segment truncation under the
+  pattern rule, a drop-in alternative to the SWA-only truncation of
+  :class:`repro.core.builtin_gen.BuiltinGenerator`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.circuits.netlist import Circuit
+from repro.logic.simulator import simulate_sequence
+
+#: A pattern of signal-transitions: frozenset of (line, rises?) pairs.
+Pattern = frozenset
+
+
+def transition_pattern(
+    prev_values: dict[str, int], values: dict[str, int]
+) -> Pattern:
+    """The set of (line, direction) pairs toggling between two cycles."""
+    return frozenset(
+        (line, v == 1)
+        for line, v in values.items()
+        if v != prev_values[line]
+    )
+
+
+@dataclass
+class FunctionalPatternBank:
+    """Patterns of signal-transitions observed under functional sequences."""
+
+    patterns: list[Pattern] = field(default_factory=list)
+    #: union of all functional patterns: cheap necessary condition
+    union: set = field(default_factory=set)
+
+    @classmethod
+    def collect(
+        cls,
+        circuit: Circuit,
+        initial_state: Sequence[int],
+        sequences: Sequence[Sequence[Sequence[int]]],
+    ) -> "FunctionalPatternBank":
+        """Simulate functional sequences and record per-cycle patterns."""
+        bank = cls()
+        for seq in sequences:
+            result = simulate_sequence(circuit, initial_state, seq)
+            for prev, cur in zip(result.line_values, result.line_values[1:]):
+                pattern = transition_pattern(prev, cur)
+                bank.patterns.append(pattern)
+                bank.union.update(pattern)
+        # Keep only maximal patterns: a pattern contained in another adds
+        # no admissibility, and dropping it speeds up the subset scan.
+        bank.patterns.sort(key=len, reverse=True)
+        maximal: list[Pattern] = []
+        for p in bank.patterns:
+            if not any(p <= q for q in maximal):
+                maximal.append(p)
+        bank.patterns = maximal
+        return bank
+
+    def admits(self, pattern: Pattern) -> bool:
+        """Whether a test-time pattern is a subset of some functional pattern.
+
+        Guarantees both (a) switching activity no higher than functional
+        (the subset has no more lines) and (b) only functionally possible
+        signal transitions.
+        """
+        if not pattern <= self.union:
+            return False
+        return any(pattern <= functional for functional in self.patterns)
+
+
+def admissible_prefix_length(
+    circuit: Circuit,
+    initial_state: Sequence[int],
+    pi_vectors: Sequence[Sequence[int]],
+    bank: FunctionalPatternBank,
+) -> int:
+    """Longest even prefix whose every state-transition the bank admits.
+
+    The pattern-of-signal-transitions analogue of the SWA-bound
+    truncation in Fig 4.9's construction procedure.
+    """
+    result = simulate_sequence(circuit, initial_state, pi_vectors)
+    length = len(pi_vectors)
+    for i in range(1, len(result.line_values)):
+        pattern = transition_pattern(result.line_values[i - 1], result.line_values[i])
+        if not bank.admits(pattern):
+            j = i - 1
+            length = j if j % 2 == 0 else j - 1
+            break
+    return max(0, length - (length % 2))

@@ -1,0 +1,1 @@
+"""Table and figure regeneration harness (one module per chapter)."""

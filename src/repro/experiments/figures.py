@@ -1,0 +1,156 @@
+"""Figure reproductions: the dissertation's examples as executable structure.
+
+The figures are circuit examples, waveforms, hardware schematics and
+flowcharts rather than measured data; each is reproduced as the
+corresponding executable artefact:
+
+* Figs 1.1-1.5 -- the introduction's example circuits, with the exact
+  two-pattern tests and their robust / non-robust classification;
+* Figs 1.6/1.7 -- the phenomenon that motivates transition path delay
+  faults: a non-robust test for a path delay fault that misses a
+  transition fault on the path (searched for on a benchmark circuit);
+* Figs 1.8-1.10 -- scan insertion and the skewed-load vs broadside
+  waveforms;
+* Fig 2.1 -- the necessary-assignment-conflict example proving a TPDF
+  undetectable;
+* Figs 4.3-4.8 -- LFSR / MISR / TPG structures with their parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuits.netlist import Circuit
+
+
+def fig_1_3_circuit() -> Circuit:
+    """The 3-input example of Figs 1.1/1.3: c = OR(a, b), e = AND(c, d)."""
+    c = Circuit(name="fig1_3")
+    for pi in ("a", "b", "d"):
+        c.add_input(pi)
+    c.add_gate("c", "OR", ["a", "b"])
+    c.add_gate("e", "AND", ["c", "d"])
+    c.add_output("e")
+    c.validate()
+    return c
+
+
+def fig_1_4_circuit() -> Circuit:
+    """The 4-input example of Figs 1.2/1.4/1.5: path a-c-e-g."""
+    c = Circuit(name="fig1_4")
+    for pi in ("a", "b", "d", "f"):
+        c.add_input(pi)
+    c.add_gate("c", "OR", ["a", "b"])
+    c.add_gate("e", "AND", ["c", "d"])
+    c.add_gate("g", "OR", ["e", "f"])
+    c.add_output("g")
+    c.validate()
+    return c
+
+
+def fig_2_1_circuit() -> Circuit:
+    """The Fig 2.1 example: path c-d-e with a flip-flop from e back to c.
+
+    The 0->1 transition path delay fault on c-d-e is undetectable: the
+    fault on e needs ``e = 0`` under the first pattern, which (broadside)
+    implies ``c = 0`` under the second pattern, conflicting with the fault
+    on c needing ``c = 1`` there.
+    """
+    c = Circuit(name="fig2_1")
+    c.add_input("a")
+    c.add_input("b")
+    c.add_gate("d", "NAND", ["c", "b"])
+    c.add_gate("e", "NOR", ["d", "a"])
+    c.add_dff(q="c", d="e")
+    c.add_output("e")
+    c.validate()
+    return c
+
+
+@dataclass(frozen=True)
+class TpgSummary:
+    """Structural parameters of a TPG instance (Figs 4.7/4.8)."""
+
+    style: str
+    n_lfsr: int
+    n_register_bits: int
+    n_and_gates: int
+    n_or_gates: int
+    n_specified: int
+
+
+def tpg_summaries(circuit: Circuit, m: int = 3, d: int = 4) -> list[TpgSummary]:
+    """Compare the [73] TPG (Fig 4.7) with the developed TPG (Fig 4.8).
+
+    The headline difference: the reference structure's LFSR grows with the
+    primary input count (``d * N_PI``) while the developed structure keeps
+    a fixed 32-stage LFSR and moves the per-input bits into a cheap shift
+    register.
+    """
+    from repro.bist.tpg import DevelopedTpg, ReferenceTpg
+
+    developed = DevelopedTpg.for_circuit(circuit, m=m)
+    reference = ReferenceTpg.for_circuit(circuit, m=m, d=d)
+    return [
+        TpgSummary(
+            style="reference[73]",
+            n_lfsr=reference.n_lfsr,
+            n_register_bits=0,
+            n_and_gates=reference.n_and_gates,
+            n_or_gates=reference.n_or_gates,
+            n_specified=reference.cube.n_specified,
+        ),
+        TpgSummary(
+            style="developed",
+            n_lfsr=developed.n_lfsr,
+            n_register_bits=developed.n_register_bits,
+            n_and_gates=developed.n_and_gates,
+            n_or_gates=developed.n_or_gates,
+            n_specified=developed.cube.n_specified,
+        ),
+    ]
+
+
+def find_nonrobust_miss(circuit: Circuit, max_paths: int = 200, max_tests: int = 200):
+    """Find the Fig 1.6/1.7 phenomenon on a real circuit.
+
+    Searches for a (path delay fault, broadside test) pair where the test
+    is a (weak) non-robust test for the fault yet fails to detect some
+    transition fault along the path -- the motivation for the transition
+    path delay fault model.  Returns ``(fault, test, missed transition
+    fault)`` or ``None``.
+    """
+    import random
+
+    from repro.faults.fsim import TransitionFaultSimulator
+    from repro.faults.models import PathDelayFault
+    from repro.faults.models import TransitionPathDelayFault
+    from repro.faults.pdfsim import classify_test
+    from repro.logic.simulator import make_broadside_test
+    from repro.paths.enumeration import k_longest_paths
+
+    rng = random.Random(3)
+    simulator = TransitionFaultSimulator(circuit)
+    paths = k_longest_paths(circuit, k=max_paths)
+    tests = [
+        make_broadside_test(
+            circuit,
+            [rng.randint(0, 1) for _ in circuit.flops],
+            [rng.randint(0, 1) for _ in circuit.inputs],
+            [rng.randint(0, 1) for _ in circuit.inputs],
+        )
+        for _ in range(max_tests)
+    ]
+    for path in paths:
+        for direction in ("rise", "fall"):
+            fault = PathDelayFault(path=path, direction=direction)
+            tpdf = TransitionPathDelayFault(path=path, direction=direction)
+            constituents = tpdf.transition_faults(circuit)
+            for test in tests:
+                if classify_test(circuit, fault, test) is None:
+                    continue
+                words = simulator.detection_words([test], constituents)
+                missed = [tr for tr in constituents if not words[tr]]
+                if missed:
+                    return fault, test, missed[0]
+    return None

@@ -1,0 +1,303 @@
+"""Chapter 4 experiments: Tables 4.1 - 4.4.
+
+* 4.1 -- primary input subsequence selection: a trace with its per-cycle
+  SWA, the violating cycles marked, and the admissible subsequences;
+* 4.2 -- benchmark parameters (N_PO, N_PI, N_SP, N_SV);
+* 4.3 -- built-in generation of functional broadside tests under primary
+  input constraints, for target x driving-block pairs including the
+  unconstrained ``buffers`` baseline;
+* 4.4 -- built-in test generation with state holding for the low-coverage
+  cases of 4.3.
+
+Pairings follow Section 4.6: a driving block must have at least as many
+primary outputs as the target has primary inputs; per target the harness
+reports ``buffers`` plus the drivers giving the highest and lowest
+``SWA_func``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.bist.tpg import DevelopedTpg
+from repro.circuits.benchmarks import get_circuit, make_buffers_block
+from repro.circuits.netlist import Circuit
+from repro.circuits.scan import ScanChains
+from repro.core.builtin_gen import BuiltinGenConfig, BuiltinGenerator, BuiltinGenResult
+from repro.core.embedded import compose, estimate_swa_func
+from repro.core.state_holding import HoldingRunResult, run_with_state_holding
+from repro.experiments.format import render
+from repro.faults.collapse import collapse_transition
+from repro.faults.lists import all_transition_faults
+from repro.logic.simulator import simulate_sequence
+
+#: Default embedded-block suite (scaled stand-ins for Table 4.2's list).
+CHAPTER4_TARGETS = ("s298", "s344", "s386", "s526")
+CHAPTER4_DRIVERS = ("s344", "s641", "s953", "s820")
+
+
+def collapsed_faults(circuit: Circuit):
+    """The graded fault list: collapsed transition faults."""
+    return collapse_transition(circuit, all_transition_faults(circuit))
+
+
+# ---------------------------------------------------------------------------
+# Table 4.1
+# ---------------------------------------------------------------------------
+
+
+def table_4_1_rows(
+    target_name: str = "s298",
+    seed: int = 11,
+    length: int = 24,
+    swa_func: float | None = None,
+) -> tuple[list[dict], list[tuple[int, int]]]:
+    """One trace with per-cycle SWA and the selected subsequences.
+
+    Returns (rows, subsequences); each subsequence is a ``(k, w)`` pair
+    meaning ``P(k .. w-1)`` is admissible under the bound.
+    """
+    circuit = get_circuit(target_name)
+    tpg = DevelopedTpg.for_circuit(circuit)
+    pi_vectors = tpg.sequence(seed, length)
+    result = simulate_sequence(
+        circuit, [0] * len(circuit.flops), pi_vectors, keep_line_values=False
+    )
+    if swa_func is None:
+        # Pick a bound that splits the trace, as the paper's example does.
+        swa_func = sorted(result.switching[1:])[int(0.8 * (length - 1))]
+    rows = []
+    for i in range(length):
+        swa = result.switching[i]
+        rows.append(
+            {
+                "Clock cycle i": i,
+                "s(i)": "".join(map(str, result.states[i][:12])),
+                "SWA(i)": "-" if i == 0 else round(swa, 2),
+                "violation": "**" if i >= 1 and swa > swa_func else "",
+            }
+        )
+    subsequences: list[tuple[int, int]] = []
+    start = 0
+    for i in range(1, length):
+        if result.switching[i] > swa_func:
+            if i - 1 > start:
+                subsequences.append((start, i - 1))
+            start = i
+    if length > start + 1:
+        subsequences.append((start, length))
+    return rows, subsequences
+
+
+# ---------------------------------------------------------------------------
+# Table 4.2
+# ---------------------------------------------------------------------------
+
+
+def table_4_2_rows(targets: Sequence[str] = CHAPTER4_TARGETS) -> list[dict]:
+    """Rows of Table 4.2: benchmark circuit parameters."""
+    rows = []
+    for name in targets:
+        circuit = get_circuit(name)
+        tpg = DevelopedTpg.for_circuit(circuit)
+        rows.append(
+            {
+                "Circuit": name,
+                "NPO": len(circuit.outputs),
+                "NPI": len(circuit.inputs),
+                "NSP": tpg.cube.n_specified,
+                "NSV": len(circuit.flops),
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Table 4.3
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Table43Case:
+    """One Table 4.3 row: a target driven by one block."""
+
+    target: str
+    driver: str  # "buffers" or a circuit name
+    swa_func: float | None
+    result: BuiltinGenResult
+    lsc: int
+
+    def row(self) -> dict:
+        """The Table 4.3 row dict for this case."""
+        r = self.result
+        return {
+            "Circuit": self.target,
+            "Lsc": self.lsc,
+            "Driving block": self.driver,
+            "Nmulti": r.n_multi,
+            "Nsegmax": r.n_seg_max,
+            "Lmax": r.l_max,
+            "SWAfunc %": round(self.swa_func, 2) if self.swa_func is not None else None,
+            "Nseeds": r.n_seeds,
+            "Ntests": r.n_tests,
+            "SWA %": round(r.peak_swa, 2),
+            "FC %": round(r.coverage, 2),
+            "HW Area (um2)": round(r.area.total),
+            "Area Over. %": round(r.area.overhead_percent, 2),
+        }
+
+
+def eligible_drivers(target: Circuit, drivers: Sequence[str]) -> list[str]:
+    """Drivers with at least as many outputs as the target has inputs."""
+    out = []
+    for name in drivers:
+        if name == target.name:
+            continue
+        driver = get_circuit(name)
+        if len(driver.outputs) >= len(target.inputs):
+            out.append(name)
+    # Self-duplication is allowed when the interface permits it.
+    self_block = get_circuit(target.name)
+    if len(self_block.outputs) >= len(target.inputs):
+        out.append(target.name)
+    return out
+
+
+def swa_func_of(
+    target: Circuit, driver_name: str, n_sequences: int = 16, length: int = 120
+) -> float:
+    """SWA_func of a target under one driving block (or ``buffers``)."""
+    if driver_name == "buffers":
+        driver = make_buffers_block(target)
+        tpg = DevelopedTpg.for_circuit(target)
+    else:
+        driver = get_circuit(driver_name)
+        tpg = DevelopedTpg.for_circuit(driver)
+    design = compose(driver, target)
+    return estimate_swa_func(
+        design, n_sequences=n_sequences, length=length, tpg=tpg
+    ).swa_func
+
+
+def run_table_4_3(
+    targets: Sequence[str] = CHAPTER4_TARGETS,
+    drivers: Sequence[str] = CHAPTER4_DRIVERS,
+    config: BuiltinGenConfig | None = None,
+    n_sequences: int = 16,
+    func_length: int = 120,
+) -> list[Table43Case]:
+    """Run Table 4.3: per target, ``buffers`` + highest/lowest-SWA drivers."""
+    config = config or BuiltinGenConfig(segment_length=150, time_limit=20)
+    cases: list[Table43Case] = []
+    for target_name in targets:
+        target = get_circuit(target_name)
+        faults = collapsed_faults(target)
+        lsc = ScanChains.partition(target).max_length
+        candidates = eligible_drivers(target, drivers)
+        scored = sorted(
+            ((swa_func_of(target, d, n_sequences, func_length), d) for d in candidates),
+        )
+        chosen: list[tuple[str, float | None]] = [("buffers", None)]
+        if scored:
+            chosen.append((scored[-1][1], scored[-1][0]))  # highest SWA_func
+        if len(scored) > 1:
+            chosen.append((scored[0][1], scored[0][0]))  # lowest SWA_func
+        for driver_name, bound in chosen:
+            generator = BuiltinGenerator(target, faults, bound, config=config)
+            result = generator.run()
+            cases.append(
+                Table43Case(
+                    target=target_name,
+                    driver=driver_name,
+                    swa_func=bound,
+                    result=result,
+                    lsc=lsc,
+                )
+            )
+    return cases
+
+
+def render_table_4_3(cases: Sequence[Table43Case]) -> str:
+    """Render Table 4.3."""
+    rows = [c.row() for c in cases]
+    return render(
+        "Table 4.3  Built-in test generation considering primary input constraints",
+        list(rows[0].keys()) if rows else ["Circuit"],
+        rows,
+        note="buffers = unconstrained primary inputs (no SWA bound)",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table 4.4
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Table44Case:
+    """One Table 4.4 row: state holding applied after a Table 4.3 run."""
+
+    base: Table43Case
+    holding: HoldingRunResult
+    total_faults: int
+
+    def row(self) -> dict:
+        """The Table 4.4 row dict for this case."""
+        improvement = 100.0 * len(self.holding.newly_detected) / self.total_faults
+        base_area = self.base.result.area
+        hold_results = self.holding.per_set_results
+        hold_area = hold_results[-1].area if hold_results else base_area
+        return {
+            "Circuit": self.base.target,
+            "Driving block": self.base.driver,
+            "Nh": self.holding.selection.n_sets,
+            "Nbits": self.holding.selection.n_bits,
+            "Nmulti": self.holding.n_multi,
+            "Nsegmax": self.holding.n_seg_max,
+            "Lmax": self.holding.l_max,
+            "Nseeds": self.holding.n_seeds,
+            "Ntests": self.holding.n_tests,
+            "SWA %": round(self.holding.peak_swa, 2),
+            "FC Imp. %": round(improvement, 2),
+            "Final FC %": round(self.base.result.coverage + improvement, 2),
+            "HW Area (um2)": round(base_area.total + hold_area.state_holding),
+            "Area Over. %": round(
+                100.0
+                * (base_area.total + hold_area.state_holding)
+                / base_area.circuit_area,
+                2,
+            ),
+        }
+
+
+def run_table_4_4(
+    cases: Sequence[Table43Case],
+    fc_threshold: float = 90.0,
+    tree_height: int = 2,
+    config: BuiltinGenConfig | None = None,
+) -> list[Table44Case]:
+    """Run state holding for every Table 4.3 case below the FC threshold."""
+    config = config or BuiltinGenConfig(segment_length=150, time_limit=15)
+    out: list[Table44Case] = []
+    for case in cases:
+        if case.result.coverage >= fc_threshold:
+            continue
+        target = get_circuit(case.target)
+        faults = collapsed_faults(target)
+        fr = [f for f in faults if f not in case.result.detected]
+        holding = run_with_state_holding(
+            target, fr, case.swa_func, tree_height=tree_height, config=config
+        )
+        out.append(Table44Case(base=case, holding=holding, total_faults=len(faults)))
+    return out
+
+
+def render_table_4_4(cases: Sequence[Table44Case]) -> str:
+    """Render Table 4.4."""
+    rows = [c.row() for c in cases]
+    return render(
+        "Table 4.4  Built-in test generation with state holding",
+        list(rows[0].keys()) if rows else ["Circuit"],
+        rows,
+    )

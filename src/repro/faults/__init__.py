@@ -1,0 +1,21 @@
+"""Fault models, fault lists, collapsing, and fault simulation."""
+
+from repro.faults.models import (
+    FALL,
+    RISE,
+    Path,
+    PathDelayFault,
+    StuckAtFault,
+    TransitionFault,
+    TransitionPathDelayFault,
+)
+
+__all__ = [
+    "FALL",
+    "RISE",
+    "Path",
+    "PathDelayFault",
+    "StuckAtFault",
+    "TransitionFault",
+    "TransitionPathDelayFault",
+]

@@ -1,0 +1,137 @@
+"""Structural fault collapsing.
+
+Equivalence-based collapsing for stuck-at faults, extended to transition
+faults the standard way (a slow-to-rise fault behaves as a second-frame
+stuck-at-0, so stuck-at equivalences carry over to same-polarity
+transition-fault equivalences; the first-frame initialization condition is
+also preserved by the rules used here).
+
+Rules applied (only across fanout-free connections, i.e. when the gate
+input being merged is the gate's only fanout of its driver):
+
+* BUF: input s-a-v  == output s-a-v
+* NOT: input s-a-v  == output s-a-(1-v)
+* AND/NAND: input s-a-c == output s-a-(c xor inversion), c the controlling
+  value (0); dually for OR/NOR with c = 1.
+
+The collapsed list keeps one representative per equivalence class (the
+structurally deepest line, matching common ATPG practice).
+"""
+
+from __future__ import annotations
+
+from repro.circuits.gates import GateType, controlling_value, is_inverting
+from repro.circuits.netlist import Circuit
+from repro.faults.models import FALL, RISE, StuckAtFault, TransitionFault
+
+
+class _UnionFind:
+    def __init__(self) -> None:
+        self.parent: dict[tuple[str, int], tuple[str, int]] = {}
+
+    def find(self, x: tuple[str, int]) -> tuple[str, int]:
+        self.parent.setdefault(x, x)
+        root = x
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[x] != root:
+            self.parent[x], x = root, self.parent[x]
+        return root
+
+    def union(self, a: tuple[str, int], b: tuple[str, int]) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self.parent[ra] = rb
+
+
+def stuck_at_equivalence_classes(circuit: Circuit) -> dict[tuple[str, int], tuple[str, int]]:
+    """Map each (line, value) stuck-at fault to its class representative."""
+    uf = _UnionFind()
+    fanout = circuit.fanout
+    fanout_counts = {
+        line: len(fanout.get(line, []))
+        + (1 if line in circuit.outputs else 0)
+        + (1 if line in set(circuit.next_state_lines) else 0)
+        for line in circuit.lines
+    }
+    for gate in circuit.topo_gates:
+        inv = is_inverting(gate.gate_type)
+        ctrl = controlling_value(gate.gate_type)
+        for src in gate.inputs:
+            if fanout_counts.get(src, 0) != 1:
+                continue  # merging across fanout stems is not equivalence
+            if gate.gate_type in (GateType.BUF, GateType.NOT):
+                for v in (0, 1):
+                    uf.union((src, v), (gate.name, (1 - v) if inv else v))
+            elif ctrl is not None:
+                out_v = (1 - ctrl) if inv else ctrl
+                uf.union((src, ctrl), (gate.name, out_v))
+    return {key: uf.find(key) for key in [(l, v) for l in circuit.lines for v in (0, 1)]}
+
+
+def collapse_stuck_at(circuit: Circuit, faults: list[StuckAtFault]) -> list[StuckAtFault]:
+    """One representative stuck-at fault per equivalence class."""
+    classes = stuck_at_equivalence_classes(circuit)
+    seen: set[tuple[str, int]] = set()
+    out: list[StuckAtFault] = []
+    for fault in faults:
+        rep = classes.get((fault.line, fault.value), (fault.line, fault.value))
+        if rep not in seen:
+            seen.add(rep)
+            out.append(StuckAtFault(line=rep[0], value=rep[1]))
+    return out
+
+
+def transition_equivalence_classes(
+    circuit: Circuit,
+) -> dict[tuple[str, int], tuple[str, int]]:
+    """Equivalence classes valid for *transition* faults.
+
+    Only BUF/NOT connections (across fanout-free stems) are merged.  The
+    controlling-value merges used for stuck-at faults are unsound here:
+    a transition fault additionally carries a first-pattern initialization
+    condition, and e.g. "AND input slow-to-fall" requires the *input* at 1
+    under the first pattern while "AND output slow-to-fall" only requires
+    the output at 1 -- their detecting test sets differ.
+    """
+    uf = _UnionFind()
+    fanout = circuit.fanout
+    fanout_counts = {
+        line: len(fanout.get(line, []))
+        + (1 if line in circuit.outputs else 0)
+        + (1 if line in set(circuit.next_state_lines) else 0)
+        for line in circuit.lines
+    }
+    for gate in circuit.topo_gates:
+        if gate.gate_type not in (GateType.BUF, GateType.NOT):
+            continue
+        src = gate.inputs[0]
+        if fanout_counts.get(src, 0) != 1:
+            continue
+        inv = gate.gate_type == GateType.NOT
+        for v in (0, 1):
+            uf.union((src, v), (gate.name, (1 - v) if inv else v))
+    return {key: uf.find(key) for key in [(l, v) for l in circuit.lines for v in (0, 1)]}
+
+
+def collapse_transition(
+    circuit: Circuit, faults: list[TransitionFault]
+) -> list[TransitionFault]:
+    """One representative transition fault per (BUF/NOT) equivalence class.
+
+    A slow-to-rise fault corresponds to the (line, stuck-at-0) class and a
+    slow-to-fall fault to (line, stuck-at-1); the representative line's
+    polarity is recovered from the class key.
+    """
+    classes = transition_equivalence_classes(circuit)
+    seen: set[tuple[str, int]] = set()
+    out: list[TransitionFault] = []
+    for fault in faults:
+        key = (fault.line, fault.stuck_value)
+        rep = classes.get(key, key)
+        if rep not in seen:
+            seen.add(rep)
+            out.append(
+                TransitionFault(line=rep[0], direction=RISE if rep[1] == 0 else FALL)
+            )
+    return out

@@ -1,0 +1,102 @@
+"""Cause-effect fault diagnosis over broadside test sets.
+
+Section 4.1 motivates detecting functionally-benign delay faults partly
+because "detecting such faults can be important for failure diagnosis and
+process improvement".  This module provides the classic cause-effect
+dictionary step: given which applied tests failed on silicon, rank the
+candidate transition faults whose simulated detection behaviour best
+explains the observation.
+
+Scoring follows standard pass/fail diagnosis practice:
+
+* a candidate predicting a failure on a passing test is heavily penalised
+  (``mispredict_weight``) -- under the single-fault assumption a real
+  fault's predicted failures must all appear;
+* observed failures the candidate does not predict are penalised lightly
+  (they may stem from the defect's analogue behaviour differing from the
+  model);
+* ties break toward candidates explaining more failures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.circuits.netlist import Circuit
+from repro.faults.fsim import TransitionFaultSimulator
+from repro.faults.models import TransitionFault
+from repro.logic.bitsim import pack_bits
+from repro.logic.patterns import BroadsideTest
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One ranked diagnosis candidate."""
+
+    fault: TransitionFault
+    explained: int  # observed failures the fault predicts
+    missed: int  # observed failures it does not predict
+    mispredicted: int  # predicted failures that actually passed
+
+    @property
+    def score(self) -> float:
+        """Lower is better."""
+        return 10.0 * self.mispredicted + 1.0 * self.missed - 0.1 * self.explained
+
+
+def build_dictionary(
+    circuit: Circuit,
+    tests: Sequence[BroadsideTest],
+    faults: Sequence[TransitionFault],
+) -> dict[TransitionFault, int]:
+    """Pass/fail fault dictionary: per fault, the word of failing tests."""
+    return TransitionFaultSimulator(circuit).detection_words(tests, faults)
+
+
+def diagnose(
+    circuit: Circuit,
+    tests: Sequence[BroadsideTest],
+    observed_failures: Sequence[int],
+    faults: Sequence[TransitionFault],
+    dictionary: Mapping[TransitionFault, int] | None = None,
+    top: int = 10,
+) -> list[Candidate]:
+    """Rank candidate faults against an observed pass/fail vector.
+
+    ``observed_failures`` is a 0/1 sequence aligned with ``tests`` (1 =
+    the device failed that test).
+    """
+    if len(observed_failures) != len(tests):
+        raise ValueError("one observation per test required")
+    if dictionary is None:
+        dictionary = build_dictionary(circuit, tests, faults)
+    observed = pack_bits(observed_failures)
+    candidates: list[Candidate] = []
+    for fault in faults:
+        predicted = dictionary.get(fault, 0)
+        explained = (predicted & observed).bit_count()
+        missed = (observed & ~predicted).bit_count()
+        mispredicted = (predicted & ~observed).bit_count()
+        if explained == 0 and observed:
+            continue  # cannot explain anything at all
+        candidates.append(
+            Candidate(
+                fault=fault,
+                explained=explained,
+                missed=missed,
+                mispredicted=mispredicted,
+            )
+        )
+    candidates.sort(key=lambda c: (c.score, str(c.fault)))
+    return candidates[:top]
+
+
+def simulate_defect(
+    circuit: Circuit,
+    tests: Sequence[BroadsideTest],
+    fault: TransitionFault,
+) -> list[int]:
+    """The pass/fail vector a (modelled) defect would produce on a tester."""
+    word = TransitionFaultSimulator(circuit).detection_words(tests, [fault])[fault]
+    return [(word >> i) & 1 for i in range(len(tests))]

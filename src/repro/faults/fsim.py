@@ -1,0 +1,258 @@
+"""Bit-parallel fault simulation for stuck-at and transition faults.
+
+Transition faults under broadside tests are graded with the standard
+two-frame semantics (Section 1.2): a ``v -> v'`` transition fault at line
+``g`` is detected by ``<s1, v1, s2, v2>`` iff
+
+1. the first pattern sets ``g = v`` in the fault-free circuit, and
+2. under the second pattern the fault-free value of ``g`` is ``v'`` and
+   the stuck-at-``v`` fault at ``g`` propagates to a primary output or to
+   a next-state line (captured into the scan chain).
+
+Simulation is PPSFP-style: all tests of a chunk are packed into integer
+words (one bit lane per test), the fault-free frames are evaluated once,
+and each fault re-evaluates only its fanout cone.
+
+The module also provides test-set compaction over *seed groups* -- the
+reverse-order / forward-looking pass of [89] used by Chapter 4 to reduce
+the number of selected LFSR seeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.circuits.netlist import Circuit
+from repro.faults.models import StuckAtFault, TransitionFault
+from repro.logic.bitsim import PatternSimulator, pack_vectors
+from repro.logic.patterns import BroadsideTest, Pattern
+
+
+def _value_word(word: int, value: int, mask: int) -> int:
+    """Word of lanes where a line's packed value equals ``value``."""
+    return word if value == 1 else (word ^ mask)
+
+
+class TransitionFaultSimulator:
+    """Grades transition faults against broadside test sets."""
+
+    def __init__(self, circuit: Circuit, chunk_size: int = 256):
+        self.circuit = circuit
+        self.sim = PatternSimulator(circuit)
+        self.chunk_size = chunk_size
+        # Observation points: primary outputs plus next-state lines.
+        seen: set[str] = set()
+        self.observation: list[str] = []
+        for line in circuit.observation_lines:
+            if line not in seen:
+                seen.add(line)
+                self.observation.append(line)
+
+    # ------------------------------------------------------------------
+    def detection_words(
+        self, tests: Sequence[BroadsideTest], faults: Sequence[TransitionFault]
+    ) -> dict[TransitionFault, int]:
+        """Per-fault detection word: bit ``t`` set iff test ``t`` detects it."""
+        words = dict.fromkeys(faults, 0)
+        for offset in range(0, len(tests), self.chunk_size):
+            chunk = tests[offset : offset + self.chunk_size]
+            chunk_words = self._simulate_chunk(chunk, faults)
+            for fault, w in chunk_words.items():
+                if w:
+                    words[fault] |= w << offset
+        return words
+
+    def detected_faults(
+        self, tests: Sequence[BroadsideTest], faults: Sequence[TransitionFault]
+    ) -> set[TransitionFault]:
+        """Faults detected by at least one test."""
+        remaining = list(faults)
+        detected: set[TransitionFault] = set()
+        for offset in range(0, len(tests), self.chunk_size):
+            if not remaining:
+                break
+            chunk = tests[offset : offset + self.chunk_size]
+            chunk_words = self._simulate_chunk(chunk, remaining)
+            newly = {f for f, w in chunk_words.items() if w}
+            detected |= newly
+            remaining = [f for f in remaining if f not in newly]
+        return detected
+
+    def detects(self, test: BroadsideTest, fault: TransitionFault) -> bool:
+        """Whether a single test detects a single fault."""
+        return bool(self.detection_words([test], [fault])[fault])
+
+    # ------------------------------------------------------------------
+    def _simulate_chunk(
+        self, tests: Sequence[BroadsideTest], faults: Sequence[TransitionFault]
+    ) -> dict[TransitionFault, int]:
+        n = len(tests)
+        if n == 0:
+            return dict.fromkeys(faults, 0)
+        mask = (1 << n) - 1
+        circuit = self.circuit
+        frame1 = pack_vectors([t.v1 for t in tests], circuit.inputs)
+        frame1.update(pack_vectors([t.s1 for t in tests], circuit.state_lines))
+        frame2 = pack_vectors([t.v2 for t in tests], circuit.inputs)
+        frame2.update(pack_vectors([t.s2 for t in tests], circuit.state_lines))
+        good1 = self.sim.run(frame1, n)
+        good2 = self.sim.run(frame2, n)
+        out: dict[TransitionFault, int] = {}
+        for fault in faults:
+            g = fault.line
+            act = _value_word(good1[g], fault.initial_value, mask) & _value_word(
+                good2[g], fault.final_value, mask
+            )
+            if not act:
+                out[fault] = 0
+                continue
+            forced = mask if fault.stuck_value == 1 else 0
+            faulty = self.sim.run_faulty_cone(good2, g, forced, n)
+            det = 0
+            for obs in self.observation:
+                fv = faulty.get(obs)
+                if fv is not None:
+                    det |= fv ^ good2[obs]
+                    if det & act == act:
+                        break
+            out[fault] = det & act
+        return out
+
+
+class FaultGrader:
+    """Incremental transition-fault grading with fault dropping.
+
+    The on-chip generation flow (Chapter 4) repeatedly asks "do the tests
+    from this candidate segment detect *additional* faults?".  The grader
+    keeps the undetected-fault frontier so each query only simulates
+    remaining faults.
+    """
+
+    def __init__(self, circuit: Circuit, faults: Sequence[TransitionFault]):
+        self.simulator = TransitionFaultSimulator(circuit)
+        self.all_faults = list(faults)
+        self.remaining: list[TransitionFault] = list(faults)
+        self.detected: set[TransitionFault] = set()
+
+    def preview(self, tests: Sequence[BroadsideTest]) -> set[TransitionFault]:
+        """Faults the tests would newly detect, *without* dropping them."""
+        if not tests or not self.remaining:
+            return set()
+        return self.simulator.detected_faults(tests, self.remaining)
+
+    def commit(self, newly_detected: Iterable[TransitionFault]) -> None:
+        """Drop faults previously returned by :meth:`preview`."""
+        newly = set(newly_detected)
+        self.detected |= newly
+        self.remaining = [f for f in self.remaining if f not in newly]
+
+    def grade(self, tests: Sequence[BroadsideTest]) -> set[TransitionFault]:
+        """Simulate, drop, and return the newly detected faults."""
+        newly = self.preview(tests)
+        self.commit(newly)
+        return newly
+
+    @property
+    def coverage(self) -> float:
+        """Fault coverage in percent over the initial fault list."""
+        if not self.all_faults:
+            return 0.0
+        return 100.0 * len(self.detected) / len(self.all_faults)
+
+
+# ---------------------------------------------------------------------------
+# Stuck-at grading (single pattern)
+# ---------------------------------------------------------------------------
+
+
+def stuck_at_detection_words(
+    circuit: Circuit, patterns: Sequence[Pattern], faults: Sequence[StuckAtFault]
+) -> dict[StuckAtFault, int]:
+    """Per-fault detection words for combinational (single-pattern) tests."""
+    sim = PatternSimulator(circuit)
+    n = len(patterns)
+    words = dict.fromkeys(faults, 0)
+    if n == 0:
+        return words
+    mask = (1 << n) - 1
+    inputs = pack_vectors([p.pi for p in patterns], circuit.inputs)
+    inputs.update(pack_vectors([p.state for p in patterns], circuit.state_lines))
+    good = sim.run(inputs, n)
+    seen: set[str] = set()
+    observation = [l for l in circuit.observation_lines if not (l in seen or seen.add(l))]
+    for fault in faults:
+        act = _value_word(good[fault.line], 1 - fault.value, mask)
+        if not act:
+            continue
+        forced = mask if fault.value == 1 else 0
+        faulty = sim.run_faulty_cone(good, fault.line, forced, n)
+        det = 0
+        for obs in observation:
+            fv = faulty.get(obs)
+            if fv is not None:
+                det |= fv ^ good[obs]
+        words[fault] = det & act
+    return words
+
+
+# ---------------------------------------------------------------------------
+# Seed-group compaction (reverse order / forward-looking, [89])
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CompactionResult:
+    """Indices of kept groups plus the coverage-preservation proof data."""
+
+    kept: tuple[int, ...]
+    faults_covered: int
+
+
+def compact_groups(
+    detections: Sequence[set],
+) -> CompactionResult:
+    """Reduce a sequence of test groups while preserving fault coverage.
+
+    ``detections[i]`` is the set of faults group ``i`` detects.  The pass
+    processes groups in reverse order of selection and keeps a group only
+    if it detects a fault not detected by the groups kept so far -- the
+    classic reverse-order compaction that [89]'s forward-looking fault
+    simulation accelerates (here the full detection sets are available, so
+    the "looking forward" is exact rather than first-detection-based).
+    """
+    union_all: set = set()
+    for d in detections:
+        union_all |= d
+    needed = set(union_all)
+    kept: list[int] = []
+    for i in range(len(detections) - 1, -1, -1):
+        contribution = detections[i] & needed
+        if contribution:
+            kept.append(i)
+            needed -= contribution
+    kept.reverse()
+    return CompactionResult(kept=tuple(kept), faults_covered=len(union_all))
+
+
+def compact_test_set(
+    circuit: Circuit,
+    tests: Sequence[BroadsideTest],
+    faults: Sequence[TransitionFault],
+) -> list[BroadsideTest]:
+    """Static compaction of a broadside test set (reverse-order pass).
+
+    Drops tests that detect no fault undetected by the kept tests,
+    preserving transition fault coverage exactly -- the per-test analogue
+    of the seed-group compaction used by the Chapter 4 flow.
+    """
+    simulator = TransitionFaultSimulator(circuit)
+    words = simulator.detection_words(tests, faults)
+    per_test: list[set[TransitionFault]] = [set() for _ in tests]
+    for fault, word in words.items():
+        while word:
+            low = (word & -word).bit_length() - 1
+            per_test[low].add(fault)
+            word &= word - 1
+    kept = compact_groups(per_test).kept
+    return [tests[i] for i in kept]

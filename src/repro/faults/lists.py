@@ -1,0 +1,103 @@
+"""Fault-list generation.
+
+Builders for the fault universes the experiments grade against:
+
+* :func:`all_stuck_at_faults` / :func:`all_transition_faults` -- two faults
+  per line.
+* :func:`tpdf_list_all_paths` -- transition path delay faults for every
+  enumerable path (the Table 2.1 workload).
+* :func:`tpdf_list_longest_first` -- TPDFs from the longest paths downward
+  (the Table 2.2 workload, where faults are taken "from the longest paths
+  to the shorter ones").
+"""
+
+from __future__ import annotations
+
+from repro.circuits.netlist import Circuit
+from repro.faults.models import (
+    FALL,
+    RISE,
+    Path,
+    StuckAtFault,
+    TransitionFault,
+    TransitionPathDelayFault,
+)
+
+
+def all_stuck_at_faults(circuit: Circuit) -> list[StuckAtFault]:
+    """Both stuck-at faults on every line."""
+    return [StuckAtFault(line, v) for line in circuit.lines for v in (0, 1)]
+
+
+def all_transition_faults(circuit: Circuit) -> list[TransitionFault]:
+    """Both transition faults on every line."""
+    return [
+        TransitionFault(line, d) for line in circuit.lines for d in (RISE, FALL)
+    ]
+
+
+def tpdfs_of_paths(paths: list[Path]) -> list[TransitionPathDelayFault]:
+    """Both TPDFs (rising/falling launch) for each path."""
+    return [
+        TransitionPathDelayFault(path=p, direction=d)
+        for p in paths
+        for d in (RISE, FALL)
+    ]
+
+
+def tpdf_list_all_paths(
+    circuit: Circuit, max_paths: int | None = None
+) -> list[TransitionPathDelayFault]:
+    """TPDF fault list over all input-to-observation paths (Table 2.1 style)."""
+    from repro.paths.enumeration import enumerate_paths
+
+    paths = enumerate_paths(circuit, limit=max_paths)
+    return tpdfs_of_paths(paths)
+
+
+def tpdf_list_longest_first(
+    circuit: Circuit, max_paths: int
+) -> list[TransitionPathDelayFault]:
+    """TPDFs for the ``max_paths`` structurally longest paths (Table 2.2 style)."""
+    from repro.paths.enumeration import k_longest_paths
+
+    paths = k_longest_paths(circuit, k=max_paths)
+    return tpdfs_of_paths(paths)
+
+
+def segment_paths(circuit: Circuit, length: int) -> list[Path]:
+    """All contiguous segments of exactly ``length`` lines.
+
+    Segments are the basis of the segment delay fault model ([24][25],
+    Section 2.1): cumulative delay over a bounded-length subpath.  Unlike
+    full paths, segments may start and end at internal lines, and their
+    count is polynomial in the circuit size for fixed ``length``.
+    """
+    if length < 1:
+        raise ValueError("segment length must be >= 1")
+    fanout = circuit.fanout
+    segments: list[Path] = []
+
+    def extend(lines: tuple[str, ...]) -> None:
+        if len(lines) == length:
+            segments.append(Path(lines=lines))
+            return
+        for nxt in fanout.get(lines[-1], ()):
+            extend(lines + (nxt,))
+
+    for line in circuit.lines:
+        extend((line,))
+    return segments
+
+
+def segment_fault_list(
+    circuit: Circuit, length: int
+) -> list[TransitionPathDelayFault]:
+    """Segment delay faults of a given segment length, as TPDFs.
+
+    A segment delay fault is detected exactly like a transition path delay
+    fault over the segment: every transition fault along the segment must
+    be detected by the same test, which captures a delay accumulated over
+    the segment regardless of which full paths embed it.
+    """
+    return tpdfs_of_paths(segment_paths(circuit, length))

@@ -1,0 +1,5 @@
+"""Logic value system and simulators (scalar three-valued and bit-parallel)."""
+
+from repro.logic.values import ONE, X, ZERO
+
+__all__ = ["ZERO", "ONE", "X"]

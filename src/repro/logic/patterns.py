@@ -1,0 +1,88 @@
+"""Test-pattern data structures: single patterns and broadside tests.
+
+A *pattern* ``<s, v>`` for a scan-based circuit assigns values to the
+state variables (scan cells) ``s`` and the primary inputs ``v``
+(Section 1.3).  A two-pattern broadside test ``<s1, v1, s2, v2>`` applies
+``<s1, v1>`` in the launch cycle; the capture-cycle state ``s2`` is the
+circuit's response to the first pattern, so only ``s1``, ``v1``, ``v2``
+are free.  A broadside test is *functional* when ``s1`` is a reachable
+state (Section 4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.circuits.netlist import Circuit
+from repro.logic.values import vector_to_str
+
+
+@dataclass(frozen=True)
+class Pattern:
+    """One pattern ``<s, v>``: state values plus primary input values."""
+
+    state: tuple[int, ...]
+    pi: tuple[int, ...]
+
+    def __str__(self) -> str:
+        return f"<{vector_to_str(self.state)}, {vector_to_str(self.pi)}>"
+
+
+@dataclass(frozen=True)
+class BroadsideTest:
+    """A two-pattern broadside test ``<s1, v1, s2, v2>``.
+
+    ``s2`` is stored explicitly (it is needed for fault simulation) but is
+    always the fault-free next state of ``<s1, v1>``; use
+    :meth:`from_launch` to compute it, or :func:`repro.logic.simulator.
+    verify_broadside` to check consistency.
+
+    Attributes
+    ----------
+    source_cycle:
+        When the test was extracted from an on-chip primary input sequence
+        (Section 4.3), the clock cycle ``i`` of ``t(i)``; ``-1`` otherwise.
+    """
+
+    s1: tuple[int, ...]
+    v1: tuple[int, ...]
+    s2: tuple[int, ...]
+    v2: tuple[int, ...]
+    source_cycle: int = field(default=-1, compare=False)
+
+    def __str__(self) -> str:
+        return (
+            f"<{vector_to_str(self.s1)}, {vector_to_str(self.v1)}, "
+            f"{vector_to_str(self.s2)}, {vector_to_str(self.v2)}>"
+        )
+
+    @property
+    def first(self) -> Pattern:
+        """The first pattern ``<s1, v1>``."""
+        return Pattern(state=self.s1, pi=self.v1)
+
+    @property
+    def second(self) -> Pattern:
+        """The second pattern ``<s2, v2>``."""
+        return Pattern(state=self.s2, pi=self.v2)
+
+
+def pattern_values(circuit: Circuit, pattern: Pattern) -> dict[str, int]:
+    """Map a :class:`Pattern` onto the circuit's input line names."""
+    values: dict[str, int] = {}
+    for name, v in zip(circuit.inputs, pattern.pi):
+        values[name] = v
+    for name, v in zip(circuit.state_lines, pattern.state):
+        values[name] = v
+    return values
+
+
+def values_to_pattern(circuit: Circuit, values: Mapping[str, int]) -> Pattern:
+    """Extract a :class:`Pattern` from a line-value mapping."""
+    from repro.logic.values import X
+
+    return Pattern(
+        state=tuple(values.get(q, X) for q in circuit.state_lines),
+        pi=tuple(values.get(p, X) for p in circuit.inputs),
+    )

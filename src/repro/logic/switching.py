@@ -1,0 +1,62 @@
+"""Switching-activity metrics (Section 4.4).
+
+The switching activity ``SWA(i)`` during clock cycle ``i`` is the
+percentage of circuit lines whose value in cycle ``i`` differs from their
+value in cycle ``i-1``; ``SWA(0)`` is undefined.  Chapter 4 uses the peak
+switching activity observed under *functional input sequences* of the
+embedding design, ``SWA_func``, to bound the switching activity of the
+tests generated on chip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.circuits.netlist import Circuit
+from repro.logic.simulator import SequenceResult, simulate_sequence
+
+
+@dataclass(frozen=True)
+class SwitchingProfile:
+    """Per-cycle switching-activity record of one applied sequence."""
+
+    swa: tuple[float, ...]  # swa[0] is undefined (0.0)
+
+    @property
+    def peak(self) -> float:
+        """Peak SWA over the defined cycles."""
+        return max(self.swa[1:], default=0.0)
+
+    def violations(self, bound: float) -> list[int]:
+        """Cycles ``i >= 1`` where ``SWA(i)`` exceeds ``bound``."""
+        return [i for i, v in enumerate(self.swa) if i >= 1 and v > bound]
+
+    def first_violation(self, bound: float) -> int | None:
+        """First violating cycle, or ``None``."""
+        for i, v in enumerate(self.swa):
+            if i >= 1 and v > bound:
+                return i
+        return None
+
+
+def profile_of(result: SequenceResult) -> SwitchingProfile:
+    """Switching profile of a scalar simulation result."""
+    return SwitchingProfile(swa=tuple(result.switching))
+
+
+def peak_switching_activity(
+    circuit: Circuit,
+    initial_state: Sequence[int],
+    sequences: Sequence[Sequence[Sequence[int]]],
+) -> float:
+    """Peak SWA of ``circuit`` over several primary input sequences.
+
+    This is the scalar reference implementation; the packed fast path used
+    by the Chapter 4 flow lives in :func:`repro.core.embedded.estimate_swa_func`.
+    """
+    peak = 0.0
+    for seq in sequences:
+        result = simulate_sequence(circuit, initial_state, seq, keep_line_values=False)
+        peak = max(peak, result.peak_switching)
+    return peak

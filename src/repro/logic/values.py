@@ -1,0 +1,178 @@
+"""Three-valued logic values and operations.
+
+The test-generation and simulation machinery in this package works over the
+classic three-valued logic system {0, 1, X} used throughout ATPG
+literature.  ``X`` denotes an unknown / unassigned value.
+
+Values are plain ints so they can be stored compactly and compared fast:
+
+* ``ZERO`` (0) -- logic 0
+* ``ONE``  (1) -- logic 1
+* ``X``    (2) -- unknown
+
+The module also defines *value pairs* ``(v1, v2)`` describing a line under
+the two patterns of a broadside test; helpers classify the pair as a rising
+transition, falling transition, steady value, or (partially) unknown.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+ZERO = 0
+ONE = 1
+X = 2
+
+#: All legal three-valued logic values.
+VALUES = (ZERO, ONE, X)
+
+#: Printable characters for the three values.
+VALUE_CHARS = {ZERO: "0", ONE: "1", X: "x"}
+
+#: Inverse mapping of :data:`VALUE_CHARS` (accepts upper-case ``X`` too).
+CHAR_VALUES = {"0": ZERO, "1": ONE, "x": X, "X": X}
+
+
+def v_not(a: int) -> int:
+    """Three-valued NOT."""
+    if a == X:
+        return X
+    return ONE - a
+
+
+def v_and(a: int, b: int) -> int:
+    """Three-valued AND."""
+    if a == ZERO or b == ZERO:
+        return ZERO
+    if a == ONE and b == ONE:
+        return ONE
+    return X
+
+
+def v_or(a: int, b: int) -> int:
+    """Three-valued OR."""
+    if a == ONE or b == ONE:
+        return ONE
+    if a == ZERO and b == ZERO:
+        return ZERO
+    return X
+
+
+def v_xor(a: int, b: int) -> int:
+    """Three-valued XOR."""
+    if a == X or b == X:
+        return X
+    return a ^ b
+
+
+def v_and_all(values: Iterable[int]) -> int:
+    """Three-valued AND over an iterable (identity: 1)."""
+    out = ONE
+    for v in values:
+        if v == ZERO:
+            return ZERO
+        if v == X:
+            out = X
+    return out
+
+
+def v_or_all(values: Iterable[int]) -> int:
+    """Three-valued OR over an iterable (identity: 0)."""
+    out = ZERO
+    for v in values:
+        if v == ONE:
+            return ONE
+        if v == X:
+            out = X
+    return out
+
+
+def v_xor_all(values: Iterable[int]) -> int:
+    """Three-valued XOR over an iterable (identity: 0)."""
+    out = ZERO
+    for v in values:
+        if v == X:
+            return X
+        out ^= v
+    return out
+
+
+def is_binary(a: int) -> bool:
+    """True when *a* is a fully-specified (0/1) value."""
+    return a == ZERO or a == ONE
+
+
+def compatible(a: int, b: int) -> bool:
+    """True when values *a* and *b* do not conflict (X matches anything)."""
+    return a == X or b == X or a == b
+
+
+def merge(a: int, b: int) -> int:
+    """Intersect two values; raises :class:`ValueError` on 0/1 conflict.
+
+    ``merge(X, v) == v`` and ``merge(v, v) == v``.
+    """
+    if a == X:
+        return b
+    if b == X or a == b:
+        return a
+    raise ValueError(f"conflicting values {a} and {b}")
+
+
+def to_char(a: int) -> str:
+    """Render a value as ``0``, ``1`` or ``x``."""
+    return VALUE_CHARS[a]
+
+
+def from_char(c: str) -> int:
+    """Parse ``0``, ``1``, ``x`` or ``X`` into a value."""
+    try:
+        return CHAR_VALUES[c]
+    except KeyError:
+        raise ValueError(f"not a logic value character: {c!r}") from None
+
+
+def vector_to_str(values: Iterable[int]) -> str:
+    """Render an iterable of values as a compact bit string."""
+    return "".join(VALUE_CHARS[v] for v in values)
+
+
+def str_to_vector(text: str) -> list[int]:
+    """Parse a compact bit string (``0``/``1``/``x``) into a value list."""
+    return [from_char(c) for c in text]
+
+
+# ---------------------------------------------------------------------------
+# Two-pattern (broadside) value pairs
+# ---------------------------------------------------------------------------
+
+RISING = (ZERO, ONE)
+FALLING = (ONE, ZERO)
+STEADY_ZERO = (ZERO, ZERO)
+STEADY_ONE = (ONE, ONE)
+
+
+def is_rising(pair: tuple[int, int]) -> bool:
+    """True for a 0->1 transition pair."""
+    return pair == RISING
+
+
+def is_falling(pair: tuple[int, int]) -> bool:
+    """True for a 1->0 transition pair."""
+    return pair == FALLING
+
+
+def has_transition(pair: tuple[int, int]) -> bool:
+    """True when the pair is a fully-specified rising or falling transition."""
+    return pair == RISING or pair == FALLING
+
+
+def is_steady(pair: tuple[int, int]) -> bool:
+    """True when the pair holds the same binary value under both patterns."""
+    v1, v2 = pair
+    return is_binary(v1) and v1 == v2
+
+
+def pair_to_str(pair: tuple[int, int]) -> str:
+    """Render a two-pattern pair as e.g. ``0->1``."""
+    return f"{to_char(pair[0])}->{to_char(pair[1])}"

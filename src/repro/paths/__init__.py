@@ -1,0 +1,1 @@
+"""Path enumeration and critical-path selection."""

@@ -1,0 +1,5 @@
+"""Static timing analysis with case analysis (PrimeTime stand-in)."""
+
+from repro.sta.engine import CaseAnalysis, StaEngine
+
+__all__ = ["CaseAnalysis", "StaEngine"]

@@ -1,0 +1,147 @@
+"""Dynamic (event-driven) timing analysis.
+
+Section 3.1 contrasts static timing analysis with *dynamic* timing
+analysis ([38][49]): simulating actual input patterns through a timed
+model gives exact per-test delays at much higher cost.  This module
+implements the timed simulation for two-pattern tests:
+
+* the circuit settles under the first pattern (time < 0);
+* at t = 0 the inputs switch to the second pattern;
+* events propagate through gates with the library's rise/fall delays
+  (plus fan-out load), each line recording its final settling time.
+
+:func:`dynamic_arrival` returns per-line (final value, settle time);
+:func:`dynamic_path_delay` extracts the observed delay of one path delay
+fault under one test -- ``None`` when the test does not launch the
+transition or the sink never switches.  The test suite uses it to verify
+the STA engine's "after TG" delays are faithful upper bounds (the
+sensitized portion of the cone can settle earlier, never later).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.circuits.gates import evaluate
+from repro.circuits.library import DEFAULT_LIBRARY, TechLibrary
+from repro.circuits.netlist import Circuit
+from repro.faults.models import PathDelayFault
+from repro.logic.patterns import BroadsideTest
+from repro.logic.simulator import simulate_broadside
+
+
+@dataclass(frozen=True)
+class TimedValue:
+    """A line's final value and the time it last changed (ns; 0 = launch)."""
+
+    value: int
+    settle_time: float
+
+
+class DynamicTimingSimulator:
+    """Event-driven timed simulation of the launch-to-capture transition."""
+
+    def __init__(self, circuit: Circuit, library: TechLibrary | None = None):
+        self.circuit = circuit
+        self.library = library or DEFAULT_LIBRARY
+
+    def _gate_delay(self, gate_name: str, new_value: int) -> float:
+        gate = self.circuit.gates[gate_name]
+        edge = "rise" if new_value == 1 else "fall"
+        base = self.library.delay(gate.gate_type, len(gate.inputs), edge)
+        load = self.library.load_penalty * max(
+            0, len(self.circuit.fanout.get(gate_name, ())) - 1
+        )
+        return base + load
+
+    def run(self, test: BroadsideTest) -> dict[str, TimedValue]:
+        """Timed simulation of a broadside test's second cycle.
+
+        Inputs switch from their frame-1 to their frame-2 values at t = 0;
+        every downstream change is scheduled after the driving gate's
+        delay.  Glitches are modelled naturally: a line may change several
+        times, and ``settle_time`` records the last change.
+        """
+        frame1, frame2 = simulate_broadside(self.circuit, test)
+        current: dict[str, int] = dict(frame1)
+        settle: dict[str, float] = {line: 0.0 for line in current}
+        fanout = self.circuit.fanout
+
+        # Inertial-delay event queue with cancellation: each gate has at
+        # most one *live* scheduled event (the one whose id matches
+        # ``latest``); re-evaluating a gate supersedes its pending event,
+        # which models a pulse shorter than the gate delay being swallowed.
+        counter = 0
+        latest: dict[str, int] = {}
+        heap: list[tuple[float, int, str, int]] = []
+
+        def schedule(time: float, line: str, value: int) -> None:
+            nonlocal counter
+            counter += 1
+            latest[line] = counter
+            heapq.heappush(heap, (time, counter, line, value))
+
+        for line in self.circuit.comb_input_lines:
+            if frame2[line] != frame1[line]:
+                schedule(0.0, line, frame2[line])
+
+        while heap:
+            time, event_id, line, value = heapq.heappop(heap)
+            if latest.get(line) != event_id:
+                continue  # superseded by a later re-evaluation
+            if current[line] == value:
+                continue  # cancelled pulse: no transition after all
+            current[line] = value
+            settle[line] = time
+            for sink in fanout.get(line, ()):
+                gate = self.circuit.gates[sink]
+                new = evaluate(gate.gate_type, [current[i] for i in gate.inputs])
+                if new != current[sink]:
+                    schedule(time + self._gate_delay(sink, new), sink, new)
+                elif latest.get(sink) is not None:
+                    # The gate re-converged to its current value: cancel
+                    # any in-flight event so it cannot fire stale.
+                    latest[sink] = -1
+        return {
+            line: TimedValue(value=current[line], settle_time=settle[line])
+            for line in current
+        }
+
+
+def dynamic_arrival(
+    circuit: Circuit,
+    test: BroadsideTest,
+    library: TechLibrary | None = None,
+) -> dict[str, TimedValue]:
+    """Convenience wrapper around :class:`DynamicTimingSimulator`."""
+    return DynamicTimingSimulator(circuit, library).run(test)
+
+
+def dynamic_path_delay(
+    circuit: Circuit,
+    fault: PathDelayFault,
+    test: BroadsideTest,
+    library: TechLibrary | None = None,
+    timed: Mapping[str, TimedValue] | None = None,
+) -> float | None:
+    """Observed delay of a path delay fault under a test.
+
+    Requires the test to launch the fault's transition at the source and
+    the sink to actually switch to its expected final value; returns the
+    sink's settle time, i.e. when the (possibly multi-path) transition
+    cone stops moving at the path's endpoint.
+    """
+    if timed is None:
+        timed = dynamic_arrival(circuit, test, library)
+    frame1, _ = simulate_broadside(circuit, test)
+    v1, v1p = fault.on_path_transition(circuit, 0)
+    source = timed[fault.path.source]
+    if frame1[fault.path.source] != v1 or source.value != v1p:
+        return None
+    _, sink_final = fault.on_path_transition(circuit, fault.path.length - 1)
+    sink = timed[fault.path.sink]
+    if sink.value != sink_final or sink.settle_time == 0.0:
+        return None
+    return sink.settle_time

@@ -1,0 +1,126 @@
+"""Tests for the on-chip test-application architecture model."""
+
+import pytest
+
+from repro.bist.architecture import ApplicationTrace, apply_on_chip, fault_free_signature
+from repro.bist.area import estimate_area
+from repro.bist.counters import ControllerCounters
+from repro.bist.tpg import DevelopedTpg
+from repro.circuits.benchmarks import get_circuit
+from repro.circuits.scan import ScanChains
+
+
+@pytest.fixture(scope="module")
+def s298_setup():
+    c = get_circuit("s298")
+    tpg = DevelopedTpg.for_circuit(c)
+    return c, tpg
+
+
+class TestApplyOnChip:
+    def test_cycle_accounting(self, s298_setup):
+        c, tpg = s298_setup
+        chains = ScanChains.partition(c)
+        trace = apply_on_chip(c, tpg, seed=9, length=20, initial_state=[0] * 14)
+        assert trace.n_tests == 10
+        assert trace.cycles["seed_load"] == 1
+        assert trace.cycles["sr_init"] == tpg.init_cycles
+        assert trace.cycles["functional"] == 20
+        assert trace.cycles["circular_shift"] == 10 * chains.max_length
+        assert trace.total_cycles == sum(trace.cycles.values())
+
+    def test_deterministic_signature(self, s298_setup):
+        c, tpg = s298_setup
+        a = apply_on_chip(c, tpg, seed=9, length=20, initial_state=[0] * 14)
+        b = apply_on_chip(c, tpg, seed=9, length=20, initial_state=[0] * 14)
+        assert a.signature == b.signature
+
+    def test_signature_depends_on_seed(self, s298_setup):
+        c, tpg = s298_setup
+        a = apply_on_chip(c, tpg, seed=9, length=30, initial_state=[0] * 14)
+        b = apply_on_chip(c, tpg, seed=10, length=30, initial_state=[0] * 14)
+        assert a.signature != b.signature
+
+    def test_faulty_circuit_changes_signature(self, s298_setup):
+        """A stuck-at fault in the CUT perturbs the MISR signature."""
+        c, tpg = s298_setup
+        good = apply_on_chip(c, tpg, seed=9, length=40, initial_state=[0] * 14)
+        # Build a faulty copy: replace one gate with a constant by wiring
+        # it as AND(x, NOT x)... simpler: flip one gate type.
+        faulty = c.copy(name="s298_faulty")
+        victim = faulty.topo_gates[5]
+        del faulty.gates[victim.name]
+        faulty._invalidate()
+        from repro.circuits.gates import GateType
+
+        swap = {
+            GateType.AND: GateType.NAND,
+            GateType.NAND: GateType.AND,
+            GateType.OR: GateType.NOR,
+            GateType.NOR: GateType.OR,
+            GateType.NOT: GateType.BUF,
+            GateType.BUF: GateType.NOT,
+            GateType.XOR: GateType.XNOR,
+            GateType.XNOR: GateType.XOR,
+        }
+        faulty.add_gate(victim.name, swap[victim.gate_type], victim.inputs)
+        bad = apply_on_chip(faulty, tpg, seed=9, length=40, initial_state=[0] * 14)
+        assert bad.signature != good.signature
+
+    def test_final_state_continues_trajectory(self, s298_setup):
+        c, tpg = s298_setup
+        t1 = apply_on_chip(c, tpg, seed=9, length=20, initial_state=[0] * 14)
+        assert len(t1.final_state) == 14
+
+    def test_multi_segment_signature(self, s298_setup):
+        c, tpg = s298_setup
+        sig = fault_free_signature(c, tpg, seeds=[9, 10], length=20, initial_state=[0] * 14)
+        assert sig == fault_free_signature(
+            c, tpg, seeds=[9, 10], length=20, initial_state=[0] * 14
+        )
+
+
+class TestArea:
+    def test_breakdown_positive(self, s298_setup):
+        c, tpg = s298_setup
+        counters = ControllerCounters(l_max=300, l_scan=14, n_seg_max=4, n_multi=8)
+        report = estimate_area(c, tpg, counters, n_seeds=20)
+        assert report.lfsr > 0
+        assert report.counters > 0
+        assert report.controller > 0
+        assert report.total == pytest.approx(
+            report.lfsr
+            + report.tpg_bias
+            + report.counters
+            + report.controller
+            + report.seed_storage
+            + report.state_holding
+        )
+        assert 0 < report.overhead_percent < 1000
+
+    def test_more_seeds_more_area(self, s298_setup):
+        c, tpg = s298_setup
+        counters = ControllerCounters(l_max=300, l_scan=14, n_seg_max=4, n_multi=8)
+        a = estimate_area(c, tpg, counters, n_seeds=10)
+        b = estimate_area(c, tpg, counters, n_seeds=40)
+        assert b.total > a.total
+
+    def test_holding_adds_area(self, s298_setup):
+        c, tpg = s298_setup
+        counters = ControllerCounters(
+            l_max=300, l_scan=14, n_seg_max=4, n_multi=8, n_hold_sets=2
+        )
+        without = estimate_area(c, tpg, counters, n_seeds=10)
+        with_h = estimate_area(
+            c, tpg, counters, n_seeds=10, n_hold_sets=2, n_held_bits=14
+        )
+        assert with_h.total > without.total
+        assert with_h.state_holding > 0
+
+    def test_overhead_shrinks_for_bigger_circuits(self):
+        small = get_circuit("s298")
+        big = get_circuit("s13207")
+        counters = ControllerCounters(l_max=300, l_scan=100, n_seg_max=4, n_multi=8)
+        a = estimate_area(small, DevelopedTpg.for_circuit(small), counters, n_seeds=10)
+        b = estimate_area(big, DevelopedTpg.for_circuit(big), counters, n_seeds=10)
+        assert b.overhead_percent < a.overhead_percent

@@ -1,0 +1,66 @@
+"""Tests for the .bench reader/writer."""
+
+import pytest
+
+from repro.circuits import bench
+from repro.circuits.benchmarks import S27_BENCH
+from repro.circuits.netlist import NetlistError
+
+
+class TestParse:
+    def test_s27(self):
+        c = bench.loads(S27_BENCH, name="s27")
+        assert len(c.inputs) == 4
+        assert len(c.outputs) == 1
+        assert len(c.flops) == 3
+        assert c.num_gates == 10
+
+    def test_comments_and_blank_lines_ignored(self):
+        c = bench.loads("# hi\n\nINPUT(a)\n# more\nOUTPUT(n)\nn = NOT(a)\n")
+        assert c.inputs == ["a"]
+        assert c.outputs == ["n"]
+
+    def test_case_insensitive_keywords(self):
+        c = bench.loads("input(a)\noutput(n)\nn = not(a)\n")
+        assert c.num_gates == 1
+
+    def test_dff_arity(self):
+        with pytest.raises(NetlistError):
+            bench.loads("INPUT(a)\nq = DFF(a, a)\n")
+
+    def test_garbage_line(self):
+        with pytest.raises(NetlistError):
+            bench.loads("INPUT(a)\nthis is not bench\n")
+
+    def test_unknown_gate(self):
+        with pytest.raises(ValueError):
+            bench.loads("INPUT(a)\nn = MAJ3(a, a, a)\n")
+
+
+class TestRoundTrip:
+    def test_s27_round_trip(self):
+        c1 = bench.loads(S27_BENCH, name="s27")
+        text = bench.dumps(c1)
+        c2 = bench.loads(text, name="s27")
+        assert c1.inputs == c2.inputs
+        assert c1.outputs == c2.outputs
+        assert {(f.q, f.d) for f in c1.flops} == {(f.q, f.d) for f in c2.flops}
+        assert {
+            (g.name, g.gate_type, g.inputs) for g in c1.gates.values()
+        } == {(g.name, g.gate_type, g.inputs) for g in c2.gates.values()}
+
+    def test_file_io(self, tmp_path):
+        c1 = bench.loads(S27_BENCH, name="s27")
+        path = tmp_path / "s27.bench"
+        bench.dump(c1, path)
+        c2 = bench.load(path)
+        assert c2.name == "s27"
+        assert c2.num_gates == c1.num_gates
+
+    def test_generator_round_trip(self):
+        from repro.circuits.benchmarks import get_circuit
+
+        c1 = get_circuit("s298")
+        c2 = bench.loads(bench.dumps(c1), name="s298")
+        assert c1.num_gates == c2.num_gates
+        assert c1.state_lines == c2.state_lines

@@ -1,0 +1,161 @@
+"""Property tests: the bit-parallel simulator against the scalar reference."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.benchmarks import get_circuit
+from repro.circuits.generator import GeneratorSpec, generate
+from repro.logic.bitsim import (
+    PatternSimulator,
+    lane_state,
+    pack_bits,
+    pack_vectors,
+    simulate_sequences_packed,
+    unpack_bits,
+)
+from repro.logic.simulator import simulate_comb, simulate_sequence
+
+
+@given(st.lists(st.integers(0, 1), max_size=70))
+def test_pack_unpack_round_trip(bits):
+    assert unpack_bits(pack_bits(bits), len(bits)) == bits
+
+
+def test_pack_vectors_columnwise():
+    words = pack_vectors([[1, 0], [0, 1], [1, 1]], ["a", "b"])
+    assert words["a"] == 0b101
+    assert words["b"] == 0b110
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=st.data())
+def test_pattern_simulator_matches_scalar(data):
+    c = get_circuit("s298")
+    n = data.draw(st.integers(1, 8))
+    vectors = [
+        [data.draw(st.integers(0, 1)) for _ in c.comb_input_lines] for _ in range(n)
+    ]
+    words = pack_vectors(vectors, c.comb_input_lines)
+    packed = PatternSimulator(c).run(words, n)
+    for t, vec in enumerate(vectors):
+        scalar = simulate_comb(c, dict(zip(c.comb_input_lines, vec)))
+        for line in c.lines:
+            assert (packed[line] >> t) & 1 == scalar[line], line
+
+
+class TestFaultyCone:
+    def test_forced_line_matches_full_resim(self):
+        """Cone re-evaluation == forcing the line and re-simulating everything."""
+        c = get_circuit("s298")
+        rng = random.Random(0)
+        n = 16
+        vectors = [
+            [rng.randint(0, 1) for _ in c.comb_input_lines] for _ in range(n)
+        ]
+        words = pack_vectors(vectors, c.comb_input_lines)
+        sim = PatternSimulator(c)
+        good = sim.run(words, n)
+        mask = (1 << n) - 1
+        for line in rng.sample(c.lines, 15):
+            forced = mask  # stuck-at-1 everywhere
+            faulty = sim.run_faulty_cone(good, line, forced, n)
+            # Reference: replay each pattern scalar-style with the line forced.
+            for t, vec in enumerate(vectors):
+                ref = _forced_scalar(c, dict(zip(c.comb_input_lines, vec)), line, 1)
+                for obs in c.observation_lines:
+                    expect = ref[obs]
+                    got = (faulty.get(obs, good[obs]) >> t) & 1
+                    assert got == expect, (line, obs)
+
+    def test_cone_is_sparse(self):
+        c = get_circuit("s298")
+        sim = PatternSimulator(c)
+        n = 4
+        words = pack_vectors(
+            [[0] * len(c.comb_input_lines)] * n, c.comb_input_lines
+        )
+        good = sim.run(words, n)
+        line = c.lines[0]
+        faulty = sim.run_faulty_cone(good, line, 0, n)
+        assert set(faulty) <= {line} | c.transitive_fanout(line)
+
+
+def _forced_scalar(circuit, inputs, line, value):
+    from repro.circuits.gates import evaluate
+
+    values = {l: inputs.get(l, 0) for l in circuit.comb_input_lines}
+    if line in values:
+        values[line] = value
+    for gate in circuit.topo_gates:
+        values[gate.name] = evaluate(
+            gate.gate_type, [values[i] for i in gate.inputs]
+        )
+        if gate.name == line:
+            values[gate.name] = value
+    return values
+
+
+class TestPackedSequences:
+    def test_matches_scalar_states_and_switching(self):
+        c = get_circuit("s298")
+        rng = random.Random(2)
+        lanes = 5
+        length = 12
+        states0 = [[rng.randint(0, 1) for _ in c.flops] for _ in range(lanes)]
+        seqs = [
+            [[rng.randint(0, 1) for _ in c.inputs] for _ in range(length)]
+            for _ in range(lanes)
+        ]
+        packed = simulate_sequences_packed(c, states0, seqs)
+        for k in range(lanes):
+            scalar = simulate_sequence(c, states0[k], seqs[k])
+            for cyc in range(length + 1):
+                assert lane_state(packed.states, c, cyc, k) == tuple(
+                    scalar.states[cyc]
+                )
+            pct = packed.switching_percent(c.num_lines)
+            for cyc in range(1, length):
+                assert pct[cyc, k] == pytest.approx(scalar.switching[cyc])
+
+    def test_lane_limit(self):
+        c = get_circuit("s27")
+        with pytest.raises(ValueError):
+            simulate_sequences_packed(c, [[0, 0, 0]] * 65, [[[0, 0, 0, 0]]] * 65)
+
+    def test_lane_count_mismatch(self):
+        c = get_circuit("s27")
+        with pytest.raises(ValueError):
+            simulate_sequences_packed(c, [[0, 0, 0]], [])
+
+    def test_unequal_lengths_rejected(self):
+        c = get_circuit("s27")
+        with pytest.raises(ValueError):
+            simulate_sequences_packed(
+                c,
+                [[0, 0, 0], [0, 0, 0]],
+                [[[0, 0, 0, 0]], [[0, 0, 0, 0], [0, 0, 0, 0]]],
+            )
+
+    def test_count_lines_subset(self):
+        """Switching restricted to a subset counts only that subset."""
+        c = get_circuit("s27")
+        seq = [[[1, 0, 1, 0]], [[0, 1, 0, 1]]]
+        full = simulate_sequences_packed(c, [[0] * 3] * 2, seq)
+        sub = simulate_sequences_packed(
+            c, [[0] * 3] * 2, seq, count_lines=c.inputs
+        )
+        assert sub.switching_counts.shape == full.switching_counts.shape
+
+    def test_random_circuit_cross_check(self):
+        spec = GeneratorSpec(
+            name="bitsim-mini", n_inputs=4, n_outputs=3, n_flops=4, n_gates=40
+        )
+        c = generate(spec)
+        rng = random.Random(9)
+        seqs = [[[rng.randint(0, 1) for _ in c.inputs] for _ in range(6)]]
+        packed = simulate_sequences_packed(c, [[0] * 4], seqs)
+        scalar = simulate_sequence(c, [0] * 4, seqs[0])
+        assert lane_state(packed.states, c, 6, 0) == tuple(scalar.states[6])

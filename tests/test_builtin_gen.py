@@ -1,0 +1,176 @@
+"""Tests for the built-in functional broadside test generator (Fig 4.9)."""
+
+import pytest
+
+from repro.circuits.benchmarks import get_circuit
+from repro.core.builtin_gen import BuiltinGenConfig, BuiltinGenerator
+from repro.faults.collapse import collapse_transition
+from repro.faults.lists import all_transition_faults
+from repro.logic.simulator import simulate_sequence, verify_broadside
+
+
+@pytest.fixture(scope="module")
+def s298_setup():
+    c = get_circuit("s298")
+    faults = collapse_transition(c, all_transition_faults(c))
+    return c, faults
+
+
+CFG = BuiltinGenConfig(segment_length=120, time_limit=20, rng_seed=5)
+
+
+@pytest.fixture(scope="module")
+def unconstrained(s298_setup):
+    c, faults = s298_setup
+    return BuiltinGenerator(c, faults, None, config=CFG).run()
+
+
+@pytest.fixture(scope="module")
+def constrained(s298_setup):
+    c, faults = s298_setup
+    return BuiltinGenerator(c, faults, 30.0, config=CFG).run()
+
+
+class TestRun:
+    def test_detects_faults(self, unconstrained):
+        assert unconstrained.coverage > 30.0
+        assert unconstrained.n_tests > 0
+
+    def test_constrained_respects_bound(self, constrained):
+        assert constrained.peak_swa <= 30.0 + 1e-9
+
+    def test_constraint_costs_coverage(self, unconstrained, constrained):
+        assert constrained.coverage <= unconstrained.coverage
+
+    def test_tests_are_broadside(self, s298_setup, constrained):
+        c, _ = s298_setup
+        for t in constrained.tests[:50]:
+            assert verify_broadside(c, t)
+
+    def test_statistics_consistent(self, constrained):
+        r = constrained
+        assert r.n_multi == len(r.sequences)
+        assert r.n_seeds == sum(s.n_segments for s in r.sequences)
+        assert r.n_seg_max == max(s.n_segments for s in r.sequences)
+        assert r.l_max == max(s.longest_segment for s in r.sequences)
+        assert r.n_tests == sum(
+            seg.n_tests for s in r.sequences for seg in s.segments
+        )
+
+    def test_segment_lengths_even(self, constrained):
+        for s in constrained.sequences:
+            for seg in s.segments:
+                assert seg.length % 2 == 0
+
+    def test_deterministic(self, s298_setup):
+        c, faults = s298_setup
+        cfg = BuiltinGenConfig(segment_length=80, time_limit=None, rng_seed=9,
+                               q_limit=2, r_limit=2, max_sequences=4)
+        a = BuiltinGenerator(c, faults, 28.0, config=cfg).run()
+        b = BuiltinGenerator(c, faults, 28.0, config=cfg).run()
+        assert a.coverage == b.coverage
+        assert [s.segments for s in a.sequences] == [s.segments for s in b.sequences]
+
+    def test_detected_subset_of_faults(self, s298_setup, constrained):
+        _, faults = s298_setup
+        assert constrained.detected <= set(faults)
+
+    def test_area_report_present(self, constrained):
+        assert constrained.area.total > 0
+        assert constrained.counters.total_flops > 0
+
+
+class TestSwaSemantics:
+    def test_every_applied_cycle_within_bound(self, s298_setup):
+        """Re-simulate each accepted segment: no cycle may violate the bound."""
+        c, faults = s298_setup
+        bound = 30.0
+        cfg = BuiltinGenConfig(segment_length=100, time_limit=None, rng_seed=3,
+                               q_limit=2, r_limit=2, max_sequences=3)
+        gen = BuiltinGenerator(c, faults, bound, config=cfg)
+        result = gen.run()
+        from repro.bist.tpg import DevelopedTpg
+
+        tpg = gen.tpg
+        for multi in result.sequences:
+            state = tuple([0] * len(c.flops))
+            for seg in multi.segments:
+                pis = tpg.sequence(seg.seed, cfg.segment_length)[: seg.length]
+                res = simulate_sequence(c, state, pis, keep_line_values=False)
+                assert all(s <= bound + 1e-9 for s in res.switching[1:])
+                state = res.states[seg.length]
+
+
+class TestTruncation:
+    def test_truncate_to_even_boundary(self, s298_setup):
+        c, faults = s298_setup
+
+        class FakeResult:
+            switching = [0.0, 10.0, 10.0, 50.0]  # violation at cycle 3
+
+        gen = BuiltinGenerator(c, faults, 20.0, config=CFG)
+        # j = 2 (even): keep P(0..1), length 2.
+        assert gen._truncate_length(FakeResult()) == 2
+
+    def test_truncate_odd_violation(self, s298_setup):
+        c, faults = s298_setup
+
+        class FakeResult:
+            switching = [0.0, 10.0, 50.0, 10.0]  # violation at cycle 2
+
+        gen = BuiltinGenerator(c, faults, 20.0, config=CFG)
+        # j = 1 (odd): keep P(0..j-2) -> length 0.
+        assert gen._truncate_length(FakeResult()) == 0
+
+    def test_no_bound_keeps_even_full_length(self, s298_setup):
+        c, faults = s298_setup
+
+        class FakeResult:
+            switching = [0.0, 99.0, 99.0, 99.0, 99.0]  # length 5
+
+        gen = BuiltinGenerator(c, faults, None, config=CFG)
+        assert gen._truncate_length(FakeResult()) == 4
+
+
+class TestPatternBound:
+    def test_pattern_bound_respects_functional_space(self, s298_setup):
+        """Pattern-bound generation only uses functionally-admissible cycles."""
+        import random
+
+        from repro.core.signal_patterns import (
+            FunctionalPatternBank,
+            transition_pattern,
+        )
+        from repro.logic.simulator import simulate_sequence
+
+        c, faults = s298_setup
+        rng = random.Random(13)
+        functional = [
+            [[rng.randint(0, 1) for _ in c.inputs] for _ in range(60)]
+            for _ in range(4)
+        ]
+        bank = FunctionalPatternBank.collect(c, [0] * 14, functional)
+        cfg = BuiltinGenConfig(
+            segment_length=80, time_limit=None, rng_seed=11, q_limit=2,
+            r_limit=2, max_sequences=3,
+        )
+        gen = BuiltinGenerator(c, faults, None, config=cfg, pattern_bank=bank)
+        result = gen.run()
+        # Replay every accepted segment and check each cycle is admitted.
+        for multi in result.sequences:
+            state = tuple([0] * len(c.flops))
+            for seg in multi.segments:
+                pis = gen.tpg.sequence(seg.seed, cfg.segment_length)[: seg.length]
+                res = simulate_sequence(c, state, pis)
+                for prev, cur in zip(res.line_values, res.line_values[1:]):
+                    assert bank.admits(transition_pattern(prev, cur))
+                state = res.states[seg.length]
+
+    def test_pattern_bound_with_holding_rejected(self, s298_setup):
+        from repro.core.signal_patterns import FunctionalPatternBank
+
+        c, faults = s298_setup
+        bank = FunctionalPatternBank()
+        gen = BuiltinGenerator(c, faults, None, config=CFG, pattern_bank=bank)
+        with pytest.raises(ValueError):
+            gen.run(hold_set=c.state_lines[:2])

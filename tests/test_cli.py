@@ -1,0 +1,62 @@
+"""Tests for the repro-eda command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestCommands:
+    def test_circuits(self, capsys):
+        assert main(["circuits"]) == 0
+        out = capsys.readouterr().out
+        assert "s27" in out and "real" in out
+
+    def test_info(self, capsys):
+        assert main(["info", "s27"]) == 0
+        out = capsys.readouterr().out
+        assert "paths" in out and "tpg" in out
+
+    def test_generate_unconstrained(self, capsys):
+        assert main(
+            ["generate", "s27", "--length", "60", "--time-limit", "5"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "FC" in out and "Ntests" in out
+
+    def test_generate_with_driver(self, capsys):
+        assert main(
+            [
+                "generate", "s298", "--driver", "s953",
+                "--length", "60", "--time-limit", "5",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "SWA_func" in out
+
+    def test_tpdf(self, capsys):
+        assert main(["tpdf", "s27", "--max-faults", "40", "--time-limit", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "detected" in out and "undetectable" in out
+
+    def test_select_paths(self, capsys):
+        assert main(["select-paths", "s298", "--n", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Target_PDF" in out
+
+    def test_table_unknown(self, capsys):
+        assert main(["table", "9.9"]) == 2
+
+    def test_table_4_2(self, capsys):
+        assert main(["table", "4.2"]) == 0
+        out = capsys.readouterr().out
+        assert "NSV" in out

@@ -1,0 +1,110 @@
+"""Tests for structural fault collapsing."""
+
+import random
+
+from repro.circuits.benchmarks import get_circuit
+from repro.circuits.netlist import Circuit
+from repro.faults.collapse import (
+    collapse_stuck_at,
+    collapse_transition,
+    stuck_at_equivalence_classes,
+)
+from repro.faults.lists import all_stuck_at_faults, all_transition_faults
+from repro.faults.models import FALL, RISE, StuckAtFault, TransitionFault
+
+
+def inverter_chain():
+    c = Circuit(name="chain")
+    c.add_input("a")
+    c.add_gate("b", "NOT", ["a"])
+    c.add_gate("cc", "NOT", ["b"])
+    c.add_output("cc")
+    c.validate()
+    return c
+
+
+def and_gate():
+    c = Circuit(name="andg")
+    c.add_input("a")
+    c.add_input("b")
+    c.add_gate("o", "AND", ["a", "b"])
+    c.add_output("o")
+    c.validate()
+    return c
+
+
+class TestEquivalence:
+    def test_inverter_chain_collapses_to_two(self):
+        c = inverter_chain()
+        collapsed = collapse_stuck_at(c, all_stuck_at_faults(c))
+        assert len(collapsed) == 2  # 6 raw faults -> one pair
+
+    def test_not_polarity_swap(self):
+        c = inverter_chain()
+        classes = stuck_at_equivalence_classes(c)
+        assert classes[("a", 0)] == classes[("b", 1)]
+        assert classes[("a", 1)] == classes[("b", 0)]
+
+    def test_and_controlling_merge(self):
+        c = and_gate()
+        classes = stuck_at_equivalence_classes(c)
+        # input s-a-0 == output s-a-0 for an AND gate
+        assert classes[("a", 0)] == classes[("o", 0)]
+        assert classes[("b", 0)] == classes[("o", 0)]
+        # s-a-1 faults stay distinct
+        assert classes[("a", 1)] != classes[("o", 1)]
+
+    def test_fanout_stems_not_merged(self):
+        c = Circuit(name="stem")
+        c.add_input("a")
+        c.add_gate("x", "NOT", ["a"])
+        c.add_gate("y", "NOT", ["a"])
+        c.add_output("x")
+        c.add_output("y")
+        c.validate()
+        classes = stuck_at_equivalence_classes(c)
+        assert classes[("a", 0)] != classes[("x", 1)]
+
+
+class TestTransitionCollapse:
+    def test_polarity_mapping(self):
+        c = inverter_chain()
+        collapsed = collapse_transition(c, all_transition_faults(c))
+        assert len(collapsed) == 2
+        directions = {f.direction for f in collapsed}
+        assert directions == {RISE, FALL}
+
+    def test_collapsed_faults_detection_equivalent(self):
+        """Equivalent transition faults have identical detection words."""
+        from repro.faults.fsim import TransitionFaultSimulator
+        from repro.logic.simulator import make_broadside_test
+
+        c = get_circuit("s27")
+        rng = random.Random(4)
+        tests = [
+            make_broadside_test(
+                c,
+                [rng.randint(0, 1) for _ in c.flops],
+                [rng.randint(0, 1) for _ in c.inputs],
+                [rng.randint(0, 1) for _ in c.inputs],
+            )
+            for _ in range(64)
+        ]
+        from repro.faults.collapse import transition_equivalence_classes
+
+        classes = transition_equivalence_classes(c)
+        groups: dict[tuple, list[TransitionFault]] = {}
+        for f in all_transition_faults(c):
+            groups.setdefault(classes[(f.line, f.stuck_value)], []).append(f)
+        sim = TransitionFaultSimulator(c)
+        words = sim.detection_words(tests, all_transition_faults(c))
+        for members in groups.values():
+            first = words[members[0]]
+            for other in members[1:]:
+                assert words[other] == first, (members[0], other)
+
+    def test_idempotent(self):
+        c = get_circuit("s298")
+        once = collapse_transition(c, all_transition_faults(c))
+        twice = collapse_transition(c, once)
+        assert once == twice

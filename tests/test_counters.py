@@ -1,0 +1,107 @@
+"""Tests for the BIST control counters and derived signals."""
+
+import pytest
+
+from repro.bist.counters import (
+    ClockCycleCounter,
+    ControllerCounters,
+    SetSelector,
+    counter_bits,
+)
+
+
+class TestCounterBits:
+    def test_widths(self):
+        assert counter_bits(2) == 1
+        assert counter_bits(3) == 2
+        assert counter_bits(4) == 2
+        assert counter_bits(5) == 3
+        assert counter_bits(1024) == 10
+
+    def test_minimum_one_bit(self):
+        assert counter_bits(0) == 1
+        assert counter_bits(1) == 1
+
+
+class TestClockCycleCounter:
+    def test_apply_signal_every_two_cycles(self):
+        """Fig 4.6 with q=1: the apply signal fires every 2nd cycle."""
+        counter = ClockCycleCounter.for_length(64, q=1)
+        fires = []
+        for cycle in range(8):
+            fires.append(counter.apply_signal)
+            counter.tick()
+        assert fires == [1, 0, 1, 0, 1, 0, 1, 0]
+
+    def test_apply_signal_q2(self):
+        counter = ClockCycleCounter.for_length(64, q=2)
+        fires = [counter.apply_signal]
+        for _ in range(7):
+            counter.tick()
+            fires.append(counter.apply_signal)
+        assert fires == [1, 0, 0, 0, 1, 0, 0, 0]
+
+    def test_hold_enable_every_four_cycles(self):
+        """Fig 4.11 with h=2: holding enable every 4th cycle."""
+        counter = ClockCycleCounter.for_length(64, h=2)
+        fires = [counter.hold_enable]
+        for _ in range(7):
+            counter.tick()
+            fires.append(counter.hold_enable)
+        assert fires == [1, 0, 0, 0, 1, 0, 0, 0]
+
+    def test_hold_cycles_never_odd(self):
+        """With h >= 1, holding never lands on a capture transition."""
+        counter = ClockCycleCounter.for_length(64, h=1)
+        for cycle in range(32):
+            if counter.hold_enable:
+                assert cycle % 2 == 0
+            counter.tick()
+
+    def test_wraps(self):
+        counter = ClockCycleCounter(width=3)
+        for _ in range(8):
+            counter.tick()
+        assert counter.value == 0
+
+    def test_reset(self):
+        counter = ClockCycleCounter.for_length(16)
+        counter.tick()
+        counter.reset()
+        assert counter.value == 0
+
+
+class TestSetSelector:
+    def test_one_hot(self):
+        sel = SetSelector(n_sets=3)
+        assert sel.one_hot() == [1, 0, 0]
+        sel.advance()
+        assert sel.one_hot() == [0, 1, 0]
+
+    def test_done(self):
+        sel = SetSelector(n_sets=2)
+        assert not sel.done
+        sel.advance()
+        sel.advance()
+        assert sel.done
+
+    def test_width(self):
+        assert SetSelector(n_sets=5).width == 3
+
+
+class TestControllerCounters:
+    def test_bit_widths(self):
+        counters = ControllerCounters(
+            l_max=1000, l_scan=100, n_seg_max=8, n_multi=30, n_hold_sets=4
+        )
+        widths = counters.bit_widths
+        assert widths["clock_cycle"] == 10
+        assert widths["shift"] == 7
+        assert widths["segment"] == 3
+        assert widths["sequence"] == 5
+        assert widths["set"] == 2
+        assert counters.total_flops == sum(widths.values())
+
+    def test_no_hold_sets_no_set_counter(self):
+        counters = ControllerCounters(l_max=10, l_scan=10, n_seg_max=2, n_multi=2)
+        assert "set" not in counters.bit_widths

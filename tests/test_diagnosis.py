@@ -1,0 +1,79 @@
+"""Tests for cause-effect diagnosis."""
+
+import random
+
+import pytest
+
+from repro.circuits.benchmarks import get_circuit
+from repro.faults.diagnosis import build_dictionary, diagnose, simulate_defect
+from repro.faults.lists import all_transition_faults
+from repro.logic.simulator import make_broadside_test
+
+
+@pytest.fixture(scope="module")
+def setup():
+    c = get_circuit("s298")
+    faults = all_transition_faults(c)
+    rng = random.Random(3)
+    tests = [
+        make_broadside_test(
+            c,
+            [rng.randint(0, 1) for _ in c.flops],
+            [rng.randint(0, 1) for _ in c.inputs],
+            [rng.randint(0, 1) for _ in c.inputs],
+        )
+        for _ in range(200)
+    ]
+    dictionary = build_dictionary(c, tests, faults)
+    return c, faults, tests, dictionary
+
+
+class TestDiagnose:
+    def test_injected_fault_ranked_first_or_equivalent(self, setup):
+        """Injecting a modelled defect, diagnosis must rank it (or an
+        indistinguishable equivalent) at the top."""
+        c, faults, tests, dictionary = setup
+        rng = random.Random(7)
+        detectable = [f for f in faults if dictionary[f]]
+        checked = 0
+        for fault in rng.sample(detectable, 10):
+            observed = simulate_defect(c, tests, fault)
+            ranked = diagnose(c, tests, observed, faults, dictionary=dictionary)
+            assert ranked, fault
+            best = ranked[0]
+            # The top candidate must predict exactly the observed behaviour
+            # (the injected fault itself or a response-equivalent fault).
+            assert best.mispredicted == 0 and best.missed == 0, fault
+            top_words = {
+                dictionary[cand.fault]
+                for cand in ranked
+                if cand.score == ranked[0].score
+            }
+            assert dictionary[fault] in top_words
+            checked += 1
+        assert checked == 10
+
+    def test_no_failures_gives_benign_candidates(self, setup):
+        c, faults, tests, dictionary = setup
+        ranked = diagnose(c, tests, [0] * len(tests), faults, dictionary=dictionary)
+        # Perfectly passing device: best candidates predict no failures.
+        assert all(c2.mispredicted == 0 for c2 in ranked[:1])
+
+    def test_observation_length_checked(self, setup):
+        c, faults, tests, dictionary = setup
+        with pytest.raises(ValueError):
+            diagnose(c, tests, [0, 1], faults, dictionary=dictionary)
+
+    def test_top_limits_results(self, setup):
+        c, faults, tests, dictionary = setup
+        fault = next(f for f in faults if dictionary[f])
+        observed = simulate_defect(c, tests, fault)
+        assert len(diagnose(c, tests, observed, faults, dictionary=dictionary, top=3)) <= 3
+
+    def test_score_ordering(self, setup):
+        c, faults, tests, dictionary = setup
+        fault = next(f for f in faults if dictionary[f])
+        observed = simulate_defect(c, tests, fault)
+        ranked = diagnose(c, tests, observed, faults, dictionary=dictionary)
+        scores = [cand.score for cand in ranked]
+        assert scores == sorted(scores)

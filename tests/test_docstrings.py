@@ -1,0 +1,48 @@
+"""Meta-test: every public module, class, function and method is documented."""
+
+import importlib
+import inspect
+import pkgutil
+
+import repro
+
+
+def _public_members(module):
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            if getattr(obj, "__module__", None) == module.__name__:
+                yield name, obj
+
+
+def _iter_modules():
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        yield importlib.import_module(info.name)
+
+
+def test_every_module_has_docstring():
+    missing = [m.__name__ for m in _iter_modules() if not (m.__doc__ or "").strip()]
+    assert not missing, f"modules without docstrings: {missing}"
+
+
+def test_every_public_callable_has_docstring():
+    missing = []
+    for module in _iter_modules():
+        for name, obj in _public_members(module):
+            if not (obj.__doc__ or "").strip():
+                missing.append(f"{module.__name__}.{name}")
+            if inspect.isclass(obj):
+                for meth_name, meth in vars(obj).items():
+                    if meth_name.startswith("_"):
+                        continue
+                    if inspect.isfunction(meth) and not (meth.__doc__ or "").strip():
+                        missing.append(f"{module.__name__}.{name}.{meth_name}")
+    assert not missing, f"undocumented public items: {missing}"
+
+
+def test_package_exports_resolve():
+    """Every name in a package __init__'s __all__ must be importable."""
+    for module in _iter_modules():
+        for name in getattr(module, "__all__", []):
+            assert hasattr(module, name), f"{module.__name__}.{name}"

@@ -1,0 +1,129 @@
+"""Tests for the event-driven dynamic timing simulator."""
+
+import random
+
+import pytest
+
+from repro.circuits.benchmarks import get_circuit
+from repro.experiments.figures import fig_1_4_circuit
+from repro.faults.models import Path, PathDelayFault, RISE
+from repro.logic.simulator import make_broadside_test, simulate_broadside
+from repro.sta.dynamic import DynamicTimingSimulator, dynamic_arrival, dynamic_path_delay
+from repro.sta.engine import CaseAnalysis, StaEngine
+
+
+class TestSettledValues:
+    def test_final_values_match_zero_delay_sim(self):
+        """Delays reorder events but never change the settled fixpoint."""
+        c = get_circuit("s298")
+        rng = random.Random(1)
+        for _ in range(10):
+            t = make_broadside_test(
+                c,
+                [rng.randint(0, 1) for _ in c.flops],
+                [rng.randint(0, 1) for _ in c.inputs],
+                [rng.randint(0, 1) for _ in c.inputs],
+            )
+            timed = dynamic_arrival(c, t)
+            _, frame2 = simulate_broadside(c, t)
+            for line in c.lines:
+                assert timed[line].value == frame2[line], line
+
+    def test_steady_lines_settle_at_zero(self):
+        c = fig_1_4_circuit()
+        t = make_broadside_test(c, [], [0, 0, 1, 0], [0, 0, 1, 0])  # no change
+        timed = dynamic_arrival(c, t)
+        assert all(v.settle_time == 0.0 for v in timed.values())
+
+    def test_switching_gate_pays_its_own_delay(self):
+        """A gate that switches settles no earlier than its fastest arc.
+
+        (Strict input-settle causality does not hold under inertial
+        cancellation: an input may glitch later without re-moving the
+        output.)
+        """
+        from repro.circuits.library import DEFAULT_LIBRARY
+
+        c = get_circuit("s298")
+        rng = random.Random(2)
+        t = make_broadside_test(
+            c,
+            [rng.randint(0, 1) for _ in c.flops],
+            [rng.randint(0, 1) for _ in c.inputs],
+            [rng.randint(0, 1) for _ in c.inputs],
+        )
+        timed = dynamic_arrival(c, t)
+        for gate in c.topo_gates:
+            out = timed[gate.name]
+            if out.settle_time > 0:
+                fastest = min(
+                    DEFAULT_LIBRARY.delay(gate.gate_type, len(gate.inputs), "rise"),
+                    DEFAULT_LIBRARY.delay(gate.gate_type, len(gate.inputs), "fall"),
+                )
+                assert out.settle_time >= fastest - 1e-12
+
+
+class TestPathDelay:
+    def test_robust_test_matches_margin_free_sta(self):
+        """Under Fig 1.4's robust test the observed delay equals the STA
+        delay with all side-input states known (margins vanish)."""
+        c = fig_1_4_circuit()
+        fault = PathDelayFault(Path(lines=("a", "c", "e", "g")), RISE)
+        t = make_broadside_test(c, [], [0, 0, 1, 0], [1, 0, 1, 0])
+        observed = dynamic_path_delay(c, fault, t)
+        sta = StaEngine(c)
+        pins = {name: (a, b) for name, a, b in zip(c.inputs, t.v1, t.v2)}
+        after_tg = sta.path_delay(fault, case=CaseAnalysis(pins=pins))
+        assert observed == pytest.approx(after_tg)
+
+    def test_unlaunched_test_returns_none(self):
+        c = fig_1_4_circuit()
+        fault = PathDelayFault(Path(lines=("a", "c", "e", "g")), RISE)
+        t = make_broadside_test(c, [], [1, 0, 1, 0], [1, 0, 1, 0])
+        assert dynamic_path_delay(c, fault, t) is None
+
+    def test_observed_never_exceeds_worst_arrival(self):
+        """Traditional STA's worst arrival time upper-bounds every
+        dynamically observed settle time -- including hazard chains along
+        paths that case analysis would prune."""
+        c = get_circuit("s298")
+        sta = StaEngine(c)
+        arrival = sta.worst_arrival()
+        rng = random.Random(5)
+        checked = 0
+        for _ in range(15):
+            t = make_broadside_test(
+                c,
+                [rng.randint(0, 1) for _ in c.flops],
+                [rng.randint(0, 1) for _ in c.inputs],
+                [rng.randint(0, 1) for _ in c.inputs],
+            )
+            timed = dynamic_arrival(c, t)
+            for line in c.lines:
+                assert timed[line].settle_time <= arrival[line] + 1e-9, line
+            checked += 1
+        assert checked == 15
+
+    def test_observed_path_delay_bounded_by_sink_arrival(self):
+        c = get_circuit("s298")
+        sta = StaEngine(c)
+        arrival = sta.worst_arrival()
+        from repro.paths.enumeration import k_longest_paths
+
+        rng = random.Random(6)
+        observed_any = 0
+        for path in k_longest_paths(c, 12):
+            fault = PathDelayFault(path=path, direction=RISE)
+            for _ in range(6):
+                t = make_broadside_test(
+                    c,
+                    [rng.randint(0, 1) for _ in c.flops],
+                    [rng.randint(0, 1) for _ in c.inputs],
+                    [rng.randint(0, 1) for _ in c.inputs],
+                )
+                observed = dynamic_path_delay(c, fault, t)
+                if observed is None:
+                    continue
+                assert observed <= arrival[path.sink] + 1e-9
+                observed_any += 1
+        assert observed_any > 0

@@ -1,0 +1,150 @@
+"""Smoke tests for the table/figure regeneration harness."""
+
+import pytest
+
+from repro.core.builtin_gen import BuiltinGenConfig
+from repro.experiments.format import render, seconds
+from repro.experiments.tables2 import render_table, run_chapter2
+from repro.experiments.tables3 import (
+    run_selection,
+    table_3_1_rows,
+    table_3_4_rows,
+)
+from repro.experiments.tables4 import (
+    Table43Case,
+    eligible_drivers,
+    run_table_4_3,
+    render_table_4_3,
+    swa_func_of,
+    table_4_1_rows,
+    table_4_2_rows,
+)
+
+
+class TestFormat:
+    def test_render_alignment(self):
+        out = render("T", ["a", "bb"], [{"a": 1, "bb": 2.5}, {"a": 10, "bb": None}])
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "2.5" in out and "-" in out
+
+    def test_seconds(self):
+        assert seconds(0) == "0:00:00"
+        assert seconds(3725) == "1:02:05"
+
+
+class TestChapter2Harness:
+    def test_all_paths_mode(self):
+        runs = run_chapter2(["s27"], mode="all")
+        assert runs[0].n_faults == 56
+        for table in ("2.1", "2.3", "2.5"):
+            out = render_table(table, runs)
+            assert "s27" in out
+
+    def test_longest_mode(self):
+        runs = run_chapter2(
+            ["s27"], mode="longest", min_detected=5, max_faults=60,
+            heuristic_time_limit=0.2, bnb_time_limit=0.5,
+        )
+        from repro.atpg.tpdf import DETECTED
+
+        assert runs[0].report.count(DETECTED) >= 5
+
+
+class TestChapter3Harness:
+    def test_table_3_1(self):
+        _, result = run_selection("s298", n=4, closure_scan=16)
+        rows = table_3_1_rows(result)
+        assert rows
+        assert set(rows[0]) == {
+            "Path delay fault",
+            "original (ns)",
+            "final (ns)",
+            "new paths",
+        }
+
+    def test_table_3_4_ordering(self):
+        rows = table_3_4_rows("s298", n=4, max_faults=3)
+        for row in rows:
+            assert row["after TG"] <= row["final"] + 1e-9
+            assert row["final"] <= row["original"] + 1e-9
+            assert row["diff"] >= -1e-9
+
+
+class TestChapter4Harness:
+    def test_table_4_1(self):
+        rows, subsequences = table_4_1_rows("s298", length=16)
+        assert len(rows) == 16
+        assert rows[0]["SWA(i)"] == "-"
+        for k, w in subsequences:
+            assert 0 <= k < w <= 16
+
+    def test_table_4_2(self):
+        rows = table_4_2_rows(("s27",))
+        assert rows[0] == {"Circuit": "s27", "NPO": 1, "NPI": 4, "NSP": 3, "NSV": 3}
+
+    def test_eligible_drivers_rule(self):
+        from repro.circuits.benchmarks import get_circuit
+
+        target = get_circuit("s298")  # 3 inputs
+        assert "s344" in eligible_drivers(target, ("s344", "s27"))
+        # s27 has a single output: cannot drive 3 inputs.
+        assert "s27" not in eligible_drivers(target, ("s27",))
+
+    def test_swa_func_buffers(self):
+        value = swa_func_of(
+            __import__("repro.circuits.benchmarks", fromlist=["get_circuit"]).get_circuit(
+                "s298"
+            ),
+            "buffers",
+            n_sequences=4,
+            length=40,
+        )
+        assert 0 < value < 100
+
+    def test_run_table_4_3_tiny(self):
+        cases = run_table_4_3(
+            targets=("s298",),
+            drivers=("s344",),
+            config=BuiltinGenConfig(segment_length=60, time_limit=6, rng_seed=2),
+            n_sequences=4,
+            func_length=40,
+        )
+        assert any(c.driver == "buffers" for c in cases)
+        out = render_table_4_3(cases)
+        assert "s298" in out
+        for case in cases:
+            if case.swa_func is not None:
+                assert case.result.peak_swa <= case.swa_func + 1e-9
+
+
+class TestFigures:
+    def test_fig_circuits_validate(self):
+        from repro.experiments.figures import (
+            fig_1_3_circuit,
+            fig_1_4_circuit,
+            fig_2_1_circuit,
+        )
+
+        for builder in (fig_1_3_circuit, fig_1_4_circuit, fig_2_1_circuit):
+            builder().validate()
+
+    def test_tpg_summaries(self):
+        from repro.circuits.benchmarks import get_circuit
+        from repro.experiments.figures import tpg_summaries
+
+        summaries = tpg_summaries(get_circuit("s298"))
+        styles = {s.style for s in summaries}
+        assert styles == {"reference[73]", "developed"}
+        developed = next(s for s in summaries if s.style == "developed")
+        assert developed.n_lfsr == 32
+
+    def test_nonrobust_miss_exists(self):
+        """The Fig 1.6/1.7 phenomenon occurs on a real benchmark."""
+        from repro.circuits.benchmarks import get_circuit
+        from repro.experiments.figures import find_nonrobust_miss
+
+        found = find_nonrobust_miss(get_circuit("s298"), max_paths=60, max_tests=60)
+        assert found is not None
+        fault, test, missed = found
+        assert missed.line in fault.path.lines

@@ -1,0 +1,78 @@
+"""Tests for functional broadside test generation helpers."""
+
+import pytest
+
+from repro.bist.tpg import DevelopedTpg
+from repro.circuits.benchmarks import get_circuit
+from repro.core.functional import (
+    functional_segment,
+    is_functional,
+    reachable_states,
+)
+from repro.logic.simulator import verify_broadside
+
+
+@pytest.fixture(scope="module")
+def s298_segment():
+    c = get_circuit("s298")
+    tpg = DevelopedTpg.for_circuit(c)
+    return c, tpg, functional_segment(c, tpg, seed=21, length=60, initial_state=[0] * 14)
+
+
+class TestFunctionalSegment:
+    def test_tests_are_broadside_consistent(self, s298_segment):
+        c, _, segment = s298_segment
+        assert segment.tests
+        for t in segment.tests:
+            assert verify_broadside(c, t)
+
+    def test_scan_in_states_reachable(self, s298_segment):
+        """Every test's s1 lies on the simulated functional trajectory."""
+        c, _, segment = s298_segment
+        trajectory = set(segment.result.states)
+        known = trajectory | {tuple([0] * 14)}
+        for t in segment.tests:
+            assert is_functional(c, t, known)
+
+    def test_spacing_avoids_overlap(self, s298_segment):
+        _, _, segment = s298_segment
+        cycles = [t.source_cycle for t in segment.tests]
+        assert all(b - a >= 2 for a, b in zip(cycles, cycles[1:]))
+
+    def test_final_state(self, s298_segment):
+        _, _, segment = s298_segment
+        assert segment.final_state == segment.result.states[segment.length]
+
+    def test_s2_reachable_too(self, s298_segment):
+        """The second state of a functional broadside test is reachable."""
+        c, _, segment = s298_segment
+        trajectory = set(segment.result.states)
+        for t in segment.tests:
+            assert tuple(t.s2) in trajectory
+
+
+class TestReachableStates:
+    def test_contains_initial(self):
+        c = get_circuit("s27")
+        states = reachable_states(c, [0, 0, 0], [[[0, 0, 0, 0]]])
+        assert (0, 0, 0) in states
+
+    def test_grows_with_sequences(self):
+        import random
+
+        c = get_circuit("s298")
+        rng = random.Random(1)
+        seqs = [
+            [[rng.randint(0, 1) for _ in c.inputs] for _ in range(30)]
+            for _ in range(4)
+        ]
+        one = reachable_states(c, [0] * 14, seqs[:1])
+        all_four = reachable_states(c, [0] * 14, seqs)
+        assert one <= all_four
+
+    def test_is_functional_rejects_unreachable(self):
+        c = get_circuit("s27")
+        from repro.logic.simulator import make_broadside_test
+
+        t = make_broadside_test(c, [1, 1, 1], [0, 0, 0, 0], [0, 0, 0, 0])
+        assert not is_functional(c, t, {(0, 0, 0)})

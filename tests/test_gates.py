@@ -1,0 +1,107 @@
+"""Unit and property tests for gate primitives."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.circuits.gates import (
+    COMBINATIONAL_TYPES,
+    GateType,
+    controlling_value,
+    evaluate,
+    evaluate_word,
+    inversion_parity,
+    is_inverting,
+    noncontrolling_value,
+    parse_gate_type,
+)
+from repro.logic.values import ONE, X, ZERO
+
+MULTI_INPUT = [t for t in COMBINATIONAL_TYPES if t not in (GateType.BUF, GateType.NOT)]
+
+
+class TestProperties:
+    def test_controlling_values(self):
+        assert controlling_value(GateType.AND) == ZERO
+        assert controlling_value(GateType.NAND) == ZERO
+        assert controlling_value(GateType.OR) == ONE
+        assert controlling_value(GateType.NOR) == ONE
+        assert controlling_value(GateType.XOR) is None
+        assert controlling_value(GateType.BUF) is None
+
+    def test_noncontrolling_values(self):
+        assert noncontrolling_value(GateType.AND) == ONE
+        assert noncontrolling_value(GateType.NOR) == ZERO
+        assert noncontrolling_value(GateType.XNOR) is None
+
+    def test_inversion(self):
+        assert is_inverting(GateType.NOT)
+        assert is_inverting(GateType.NAND)
+        assert is_inverting(GateType.NOR)
+        assert is_inverting(GateType.XNOR)
+        assert not is_inverting(GateType.AND)
+        assert inversion_parity(GateType.NAND) == 1
+        assert inversion_parity(GateType.OR) == 0
+
+    def test_parse_aliases(self):
+        assert parse_gate_type("buff") == GateType.BUF
+        assert parse_gate_type("INV") == GateType.NOT
+        assert parse_gate_type("nand") == GateType.NAND
+        with pytest.raises(ValueError):
+            parse_gate_type("MAJ")
+
+
+class TestEvaluate:
+    def test_controlling_input_dominates_x(self):
+        assert evaluate(GateType.AND, [ZERO, X]) == ZERO
+        assert evaluate(GateType.NAND, [ZERO, X]) == ONE
+        assert evaluate(GateType.OR, [ONE, X]) == ONE
+        assert evaluate(GateType.NOR, [ONE, X]) == ZERO
+
+    def test_xor_with_x_is_x(self):
+        assert evaluate(GateType.XOR, [ONE, X]) == X
+        assert evaluate(GateType.XNOR, [X, ZERO]) == X
+
+    def test_single_input_gates(self):
+        assert evaluate(GateType.BUF, [ONE]) == ONE
+        assert evaluate(GateType.NOT, [ONE]) == ZERO
+
+    def test_input_dff_not_evaluable(self):
+        with pytest.raises(ValueError):
+            evaluate(GateType.INPUT, [ONE])
+        with pytest.raises(ValueError):
+            evaluate(GateType.DFF, [ONE])
+
+
+@given(
+    gate_type=st.sampled_from(MULTI_INPUT),
+    vectors=st.lists(
+        st.lists(st.integers(0, 1), min_size=2, max_size=4),
+        min_size=1,
+        max_size=8,
+    ).filter(lambda vs: len({len(v) for v in vs}) == 1),
+)
+def test_word_eval_matches_scalar(gate_type, vectors):
+    """evaluate_word over packed patterns == per-pattern evaluate."""
+    n = len(vectors)
+    fanin = len(vectors[0])
+    mask = (1 << n) - 1
+    words = []
+    for j in range(fanin):
+        w = 0
+        for t, vec in enumerate(vectors):
+            if vec[j]:
+                w |= 1 << t
+        words.append(w)
+    packed = evaluate_word(gate_type, words, mask)
+    for t, vec in enumerate(vectors):
+        assert (packed >> t) & 1 == evaluate(gate_type, vec)
+
+
+@given(st.lists(st.integers(0, 1), min_size=1, max_size=8))
+def test_word_eval_unary(bits):
+    n = len(bits)
+    mask = (1 << n) - 1
+    word = sum(b << i for i, b in enumerate(bits))
+    assert evaluate_word(GateType.BUF, [word], mask) == word
+    assert evaluate_word(GateType.NOT, [word], mask) == word ^ mask

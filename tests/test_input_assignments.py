@@ -1,0 +1,142 @@
+"""Tests for input necessary assignments (Section 3.2)."""
+
+import itertools
+
+import pytest
+
+from repro.atpg.input_assignments import (
+    POTENTIALLY_DETECTABLE,
+    UNDETECTABLE,
+    compute_input_assignments,
+    transition_fault_na,
+)
+from repro.atpg.unroll import TwoFrameModel
+from repro.circuits.benchmarks import get_circuit
+from repro.experiments.figures import fig_2_1_circuit
+from repro.faults.lists import tpdf_list_all_paths
+from repro.faults.models import Path, RISE, TransitionFault, TransitionPathDelayFault
+from repro.faults.pdfsim import tpdf_detection_words
+from repro.logic.simulator import make_broadside_test
+
+
+@pytest.fixture(scope="module")
+def s27_model():
+    return TwoFrameModel.build(get_circuit("s27"))
+
+
+class TestSteps:
+    def test_fig_2_1_step2_conflict(self):
+        c = fig_2_1_circuit()
+        model = TwoFrameModel.build(c)
+        fault = TransitionPathDelayFault(Path(lines=("c", "d", "e")), RISE)
+        result = compute_input_assignments(model, fault, step4=False)
+        assert result.status == UNDETECTABLE
+
+    def test_step1_uses_undetectable_set(self, s27_model):
+        fault = tpdf_list_all_paths(s27_model.base)[0]
+        tr = fault.transition_faults(s27_model.base)[0]
+        result = compute_input_assignments(
+            s27_model, fault, undetectable_transition_faults={tr}
+        )
+        assert result.status == UNDETECTABLE
+
+    def test_transition_fault_na_inputs(self, s27_model):
+        na = transition_fault_na(s27_model, TransitionFault("G14", RISE))
+        assert na is not None
+        # G14 = NOT(G0): backward implication determines G0 in both frames.
+        assert na["G0@1"] == 1 and na["G0@2"] == 0
+
+
+class TestSoundness:
+    """Necessity is w.r.t. *path-sensitized* TPDF detection.
+
+    Step 3 adds the off-path non-controlling conditions of [16]: they are
+    necessary for detecting the fault *through the path* (at least weak
+    non-robust sensitization), the detection notion Chapter 3's selection
+    uses -- not for the bare all-constituents-detected conjunction.
+    """
+
+    def _sensitized_detecting_tests(self, c, fault, tests, words):
+        from repro.faults.pdfsim import classify_test
+
+        pdf = fault.as_path_delay_fault
+        return [
+            tests[i]
+            for i in range(len(tests))
+            if (words[fault] >> i) & 1 and classify_test(c, pdf, tests[i]) is not None
+        ]
+
+    def test_assignments_hold_in_every_sensitized_detecting_test(self, s27_model):
+        c = s27_model.base
+        faults = tpdf_list_all_paths(c)
+        tests = [
+            make_broadside_test(c, s1, v1, v2)
+            for s1 in itertools.product((0, 1), repeat=3)
+            for v1 in itertools.product((0, 1), repeat=4)
+            for v2 in itertools.product((0, 1), repeat=4)
+        ]
+        words = tpdf_detection_words(c, faults, tests)
+        checked = 0
+        for fault in faults:
+            detecting = self._sensitized_detecting_tests(c, fault, tests, words)
+            if not detecting:
+                continue
+            result = compute_input_assignments(s27_model, fault)
+            assert result.status == POTENTIALLY_DETECTABLE, fault
+            for (name, frame), value in result.input_assignments.items():
+                for t in detecting:
+                    if name in c.inputs:
+                        idx = c.inputs.index(name)
+                        actual = t.v1[idx] if frame == 1 else t.v2[idx]
+                    else:
+                        idx = c.state_lines.index(name)
+                        actual = t.s1[idx] if frame == 1 else t.s2[idx]
+                    assert actual == value, (fault, name, frame)
+            checked += 1
+        assert checked > 5
+
+    def test_undetectable_claims_sound(self, s27_model):
+        """No fault with a sensitized detecting test is screened out."""
+        c = s27_model.base
+        faults = tpdf_list_all_paths(c)
+        tests = [
+            make_broadside_test(c, s1, v1, v2)
+            for s1 in itertools.product((0, 1), repeat=3)
+            for v1 in itertools.product((0, 1), repeat=4)
+            for v2 in itertools.product((0, 1), repeat=4)
+        ]
+        words = tpdf_detection_words(c, faults, tests)
+        for fault in faults:
+            result = compute_input_assignments(s27_model, fault)
+            if result.status == UNDETECTABLE:
+                sensitized = self._sensitized_detecting_tests(
+                    c, fault, tests, words
+                )
+                assert not sensitized, fault
+
+
+class TestPairs:
+    def test_paired_inputs_only_fully_specified(self, s27_model):
+        faults = tpdf_list_all_paths(s27_model.base)
+        for fault in faults[:10]:
+            result = compute_input_assignments(s27_model, fault)
+            if result.undetectable:
+                continue
+            pairs = result.paired_inputs()
+            for name, (v1, v2) in pairs.items():
+                assert result.input_assignments[(name, 1)] == v1
+                assert result.input_assignments[(name, 2)] == v2
+
+    def test_step4_only_adds_assignments(self, s27_model):
+        faults = tpdf_list_all_paths(s27_model.base)
+        compared = 0
+        for fault in faults:
+            without = compute_input_assignments(s27_model, fault, step4=False)
+            with4 = compute_input_assignments(s27_model, fault, step4=True)
+            if without.undetectable or with4.undetectable:
+                continue
+            assert set(without.input_assignments) <= set(with4.input_assignments)
+            for key, v in without.input_assignments.items():
+                assert with4.input_assignments[key] == v
+            compared += 1
+        assert compared > 0

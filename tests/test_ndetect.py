@@ -1,0 +1,48 @@
+"""Tests for n-detection metrics."""
+
+import pytest
+
+from repro.circuits.benchmarks import get_circuit
+from repro.faults.lists import all_transition_faults
+from repro.faults.ndetect import NDetectProfile, n_detect_profile
+from repro.logic.simulator import make_broadside_test
+
+
+class TestProfile:
+    def test_counts_accumulate(self):
+        c = get_circuit("s27")
+        faults = all_transition_faults(c)
+        t = make_broadside_test(c, [0, 0, 0], [0, 0, 0, 0], [1, 1, 1, 1])
+        once = n_detect_profile(c, [t], faults)
+        thrice = n_detect_profile(c, [t, t, t], faults)
+        for fault in faults:
+            assert thrice.counts[fault] == 3 * once.counts[fault]
+
+    def test_coverage_monotone_in_n(self):
+        import random
+
+        c = get_circuit("s27")
+        faults = all_transition_faults(c)
+        rng = random.Random(0)
+        tests = [
+            make_broadside_test(
+                c,
+                [rng.randint(0, 1) for _ in c.flops],
+                [rng.randint(0, 1) for _ in c.inputs],
+                [rng.randint(0, 1) for _ in c.inputs],
+            )
+            for _ in range(40)
+        ]
+        profile = n_detect_profile(c, tests, faults)
+        assert profile.coverage(1) >= profile.coverage(2) >= profile.coverage(5)
+
+    def test_histogram(self):
+        profile = NDetectProfile(counts={"a": 3, "b": 1, "c": 0})
+        assert profile.histogram((1, 2, 3)) == {1: 2, 2: 1, 3: 1}
+        assert profile.max_n == 3
+        assert profile.coverage(1) == pytest.approx(200.0 / 3.0)
+
+    def test_empty(self):
+        profile = NDetectProfile(counts={})
+        assert profile.coverage() == 0.0
+        assert profile.max_n == 0

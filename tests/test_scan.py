@@ -1,0 +1,131 @@
+"""Tests for scan-chain partitioning, scan insertion, and waveforms."""
+
+import pytest
+
+from repro.circuits.benchmarks import get_circuit
+from repro.circuits.scan import (
+    ScanChains,
+    broadside_waveform,
+    insert_scan,
+    se_transition_at_speed,
+    skewed_load_waveform,
+)
+from repro.logic.simulator import next_state, simulate_comb
+
+
+class TestPartition:
+    def test_small_circuit_single_chain(self):
+        chains = ScanChains.partition(get_circuit("s27"))
+        assert chains.num_chains == 1
+        assert chains.max_length == 3
+        assert chains.num_cells == 3
+
+    def test_rule_max_chains_min_length(self):
+        c = get_circuit("s13207")  # 180 flops in the scaled stand-in
+        chains = ScanChains.partition(c)
+        assert chains.num_chains == 1  # 180 // 100 == 1
+        chains2 = ScanChains.partition(c, min_length=50)
+        assert chains2.num_chains == 3
+        assert all(len(ch) >= 50 for ch in chains2.chains)
+
+    def test_balanced(self):
+        c = get_circuit("s13207")
+        chains = ScanChains.partition(c, min_length=40)
+        lengths = [len(ch) for ch in chains.chains]
+        assert max(lengths) - min(lengths) <= 1
+
+    def test_all_cells_covered_once(self):
+        c = get_circuit("s298")
+        chains = ScanChains.partition(c, min_length=5)
+        cells = [q for ch in chains.chains for q in ch]
+        assert sorted(cells) == sorted(c.state_lines)
+
+    def test_chain_of(self):
+        c = get_circuit("s298")
+        chains = ScanChains.partition(c, min_length=5)
+        q = c.state_lines[0]
+        assert q in chains.chains[chains.chain_of(q)]
+        with pytest.raises(KeyError):
+            chains.chain_of("ghost")
+
+    def test_no_flops(self):
+        from repro.circuits.netlist import Circuit
+
+        c = Circuit(name="comb")
+        c.add_input("a")
+        c.add_gate("n", "NOT", ["a"])
+        c.add_output("n")
+        assert ScanChains.partition(c).num_chains == 0
+
+
+class TestInsertScan:
+    def test_structure(self):
+        c = get_circuit("s27")
+        scanned = insert_scan(c)
+        assert "SE" in scanned.inputs
+        assert "SI0" in scanned.inputs
+        assert len(scanned.flops) == len(c.flops)
+        scanned.validate()
+
+    def test_functional_mode_matches_original(self):
+        """With SE=0 the scanned circuit computes the original next state."""
+        c = get_circuit("s27")
+        scanned = insert_scan(c)
+        import random
+
+        rng = random.Random(5)
+        for _ in range(20):
+            pis = {pi: rng.randint(0, 1) for pi in c.inputs}
+            state = {q: rng.randint(0, 1) for q in c.state_lines}
+            original = simulate_comb(c, pis | state)
+            values = simulate_comb(scanned, pis | state | {"SE": 0, "SI0": 0})
+            assert next_state(c, original) == tuple(
+                values[f.d] for f in scanned.flops
+            )
+
+    def test_shift_mode_shifts(self):
+        """With SE=1 each cell's next value is the previous cell (or SI)."""
+        c = get_circuit("s27")
+        chains = ScanChains.partition(c)
+        scanned = insert_scan(c, chains)
+        import random
+
+        rng = random.Random(6)
+        state = {q: rng.randint(0, 1) for q in c.state_lines}
+        pis = {pi: rng.randint(0, 1) for pi in c.inputs}
+        values = simulate_comb(scanned, pis | state | {"SE": 1, "SI0": 1})
+        nxt = {f.q: values[f.d] for f in scanned.flops}
+        chain = chains.chains[0]
+        assert nxt[chain[0]] == 1  # scan-in
+        for prev, cur in zip(chain, chain[1:]):
+            assert nxt[cur] == state[prev]
+
+    def test_scan_out_is_last_cell(self):
+        c = get_circuit("s27")
+        chains = ScanChains.partition(c)
+        scanned = insert_scan(c, chains)
+        assert chains.chains[0][-1] in scanned.outputs
+
+
+class TestWaveforms:
+    def test_broadside_se_change_is_slow(self):
+        assert se_transition_at_speed(broadside_waveform(4)) is False
+
+    def test_skewed_load_se_change_is_at_speed(self):
+        assert se_transition_at_speed(skewed_load_waveform(4)) is True
+
+    def test_phase_structure(self):
+        wf = broadside_waveform(3)
+        phases = [e.phase for e in wf]
+        assert phases.count("launch") == 1
+        assert phases.count("capture") == 1
+        assert phases.count("shift") == 6
+        launch = next(e for e in wf if e.phase == "launch")
+        capture = next(e for e in wf if e.phase == "capture")
+        assert capture.cycle == launch.cycle + 1
+        assert launch.at_speed and capture.at_speed
+
+    def test_skewed_launch_is_last_shift(self):
+        wf = skewed_load_waveform(3)
+        launch = next(e for e in wf if e.phase == "launch")
+        assert launch.se == 1  # launched by the last shift

@@ -1,0 +1,94 @@
+"""Tests for the enhanced-scan and skewed-load test styles (Section 1.3)."""
+
+import pytest
+
+from repro.atpg.broadside import BroadsideAtpg
+from repro.atpg.unroll import BROADSIDE, ENHANCED, SKEWED_LOAD, TwoFrameModel
+from repro.circuits.benchmarks import get_circuit
+from repro.circuits.scan import ScanChains
+from repro.faults.fsim import TransitionFaultSimulator
+from repro.faults.lists import all_transition_faults
+from repro.logic.simulator import simulate_comb
+
+
+class TestModels:
+    def test_enhanced_state_free(self):
+        c = get_circuit("s27")
+        model = TwoFrameModel.build_enhanced(c)
+        for q in c.state_lines:
+            assert f"{q}@2" in model.model.inputs
+
+    def test_skewed_shift_coupling(self):
+        """In the model, q@2 equals the previous cell's q@1."""
+        c = get_circuit("s27")
+        chains = ScanChains.partition(c)
+        model = TwoFrameModel.build_skewed(c, chains)
+        chain = chains.chains[0]
+        assignments = {f"{q}@1": (i % 2) for i, q in enumerate(c.state_lines)}
+        assignments["SI0@2"] = 1
+        values = simulate_comb(model.model, assignments)
+        assert values[f"{chain[0]}@2"] == 1  # scan-in
+        for prev, cur in zip(chain, chain[1:]):
+            assert values[f"{cur}@2"] == assignments[f"{prev}@1"]
+
+    def test_style_recorded(self):
+        c = get_circuit("s27")
+        assert TwoFrameModel.build(c).style == BROADSIDE
+        assert TwoFrameModel.build_enhanced(c).style == ENHANCED
+        assert TwoFrameModel.build_skewed(c).style == SKEWED_LOAD
+
+    def test_unknown_style_rejected(self):
+        with pytest.raises(ValueError):
+            BroadsideAtpg(get_circuit("s27"), style="levitating")
+
+
+class TestToTest:
+    def test_enhanced_s2_from_assignments(self):
+        c = get_circuit("s27")
+        atpg = BroadsideAtpg(c, style="enhanced")
+        cube = {f"{q}@2": 1 for q in c.state_lines}
+        test = atpg.model.to_broadside_test(cube)
+        assert test.s2 == (1, 1, 1)
+
+    def test_skewed_s2_is_shift(self):
+        c = get_circuit("s27")
+        atpg = BroadsideAtpg(c, style="skewed_load")
+        chain = atpg.model.chains.chains[0]
+        s1_bits = {f"{q}@1": (i % 2) for i, q in enumerate(c.state_lines)}
+        test = atpg.model.to_broadside_test(s1_bits | {"SI0@2": 1})
+        s1 = dict(zip(c.state_lines, test.s1))
+        s2 = dict(zip(c.state_lines, test.s2))
+        assert s2[chain[0]] == 1
+        for prev, cur in zip(chain, chain[1:]):
+            assert s2[cur] == s1[prev]
+
+
+class TestCoverageOrdering:
+    @pytest.fixture(scope="class")
+    def results(self):
+        c = get_circuit("s27")
+        faults = all_transition_faults(c)
+        out = {}
+        for style in ("broadside", "skewed_load", "enhanced"):
+            atpg = BroadsideAtpg(c, style=style)
+            out[style] = atpg.generate_all(faults)
+        return c, faults, out
+
+    def test_enhanced_dominates(self, results):
+        """Enhanced scan reaches the highest coverage (Section 1.3)."""
+        _, _, out = results
+        assert len(out["enhanced"].detected) >= len(out["broadside"].detected)
+        assert len(out["enhanced"].detected) >= len(out["skewed_load"].detected)
+
+    def test_detections_verified_by_fsim(self, results):
+        """Each style's claimed detections replay under fault simulation."""
+        c, _, out = results
+        sim = TransitionFaultSimulator(c)
+        for style, result in out.items():
+            verified = sim.detected_faults(result.tests, list(result.detected))
+            assert verified == result.detected, style
+
+    def test_broadside_detected_subset_of_enhanced(self, results):
+        """Any broadside-detectable fault is enhanced-scan detectable."""
+        _, _, out = results
+        assert out["broadside"].detected <= out["enhanced"].detected

@@ -1,0 +1,130 @@
+"""Tests for the Chapter 2 TPDF pipeline, incl. exhaustive ground truth."""
+
+import itertools
+
+import pytest
+
+from repro.atpg.tpdf import (
+    ABORTED,
+    DETECTED,
+    SUB_BRANCH_BOUND,
+    SUB_FSIM,
+    SUB_HEURISTIC,
+    SUB_PREPROCESS,
+    TpdfPipeline,
+    UNDETECTABLE,
+    cube_detects,
+)
+from repro.circuits.benchmarks import get_circuit
+from repro.faults.lists import tpdf_list_all_paths
+from repro.faults.models import Path, RISE, TransitionPathDelayFault
+from repro.faults.pdfsim import tpdf_detection_words
+from repro.logic.simulator import make_broadside_test
+
+
+@pytest.fixture(scope="module")
+def s27_report():
+    c = get_circuit("s27")
+    pipeline = TpdfPipeline(c, heuristic_time_limit=1.0, bnb_time_limit=3.0)
+    return c, pipeline.run(tpdf_list_all_paths(c))
+
+
+@pytest.fixture(scope="module")
+def s27_exhaustive_words():
+    c = get_circuit("s27")
+    tests = [
+        make_broadside_test(c, s1, v1, v2)
+        for s1 in itertools.product((0, 1), repeat=3)
+        for v1 in itertools.product((0, 1), repeat=4)
+        for v2 in itertools.product((0, 1), repeat=4)
+    ]
+    faults = tpdf_list_all_paths(c)
+    return tpdf_detection_words(c, faults, tests)
+
+
+class TestS27GroundTruth:
+    def test_no_aborts(self, s27_report):
+        _, report = s27_report
+        assert report.count(ABORTED) == 0
+
+    def test_classification_matches_exhaustive(
+        self, s27_report, s27_exhaustive_words
+    ):
+        """Every fault's detected/undetectable verdict equals brute force."""
+        _, report = s27_report
+        for fault, outcome in report.outcomes.items():
+            truth = bool(s27_exhaustive_words[fault])
+            assert (outcome.status == DETECTED) == truth, fault
+
+    def test_detection_certificates_valid(self, s27_report):
+        c, report = s27_report
+        for fault, outcome in report.outcomes.items():
+            if outcome.status == DETECTED and outcome.test is not None:
+                words = tpdf_detection_words(c, [fault], [outcome.test])
+                assert words[fault], fault
+
+    def test_subprocedure_accounting(self, s27_report):
+        _, report = s27_report
+        total_detected = report.count(DETECTED)
+        by_sub = (
+            report.detected_by(SUB_FSIM)
+            + report.detected_by(SUB_HEURISTIC)
+            + report.detected_by(SUB_BRANCH_BOUND)
+        )
+        assert by_sub == total_detected
+        assert report.prep_upper_bound >= total_detected
+
+    def test_times_recorded(self, s27_report):
+        _, report = s27_report
+        assert set(report.sub_times) == {
+            SUB_PREPROCESS,
+            SUB_FSIM,
+            SUB_HEURISTIC,
+            SUB_BRANCH_BOUND,
+        }
+        assert report.total_time > 0
+
+
+class TestFig21:
+    def test_preprocessing_proves_fig_2_1_undetectable(self):
+        from repro.experiments.figures import fig_2_1_circuit
+
+        c = fig_2_1_circuit()
+        fault = TransitionPathDelayFault(Path(lines=("c", "d", "e")), RISE)
+        pipeline = TpdfPipeline(c)
+        report = pipeline.run([fault])
+        outcome = report.outcomes[fault]
+        assert outcome.status == UNDETECTABLE
+        assert outcome.sub_procedure == SUB_PREPROCESS
+
+
+class TestCubeDetects:
+    def test_partial_cube_conservative(self):
+        from repro.atpg.broadside import BroadsideAtpg
+        from repro.faults.models import TransitionFault
+
+        c = get_circuit("s27")
+        atpg = BroadsideAtpg(c)
+        fault = TransitionFault("G14", RISE)
+        # Empty cube: everything X, cannot prove detection.
+        assert not cube_detects(atpg, {}, fault)
+        run = atpg.generate(fault)
+        assert cube_detects(atpg, run.assignments, fault)
+
+    def test_full_cube_exact(self):
+        """On fully specified cubes, cube_detects == fault simulation."""
+        import random
+
+        from repro.atpg.broadside import BroadsideAtpg
+        from repro.faults.fsim import TransitionFaultSimulator
+        from repro.faults.lists import all_transition_faults
+
+        c = get_circuit("s27")
+        atpg = BroadsideAtpg(c)
+        sim = TransitionFaultSimulator(c)
+        rng = random.Random(5)
+        for _ in range(10):
+            cube = {line: rng.randint(0, 1) for line in atpg.model.free_inputs}
+            test = atpg.model.to_broadside_test(cube)
+            for fault in rng.sample(all_transition_faults(c), 8):
+                assert cube_detects(atpg, cube, fault) == sim.detects(test, fault)

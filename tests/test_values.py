@@ -1,0 +1,117 @@
+"""Unit and property tests for the three-valued logic system."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.logic import values as V
+
+binary = st.sampled_from([V.ZERO, V.ONE])
+ternary = st.sampled_from([V.ZERO, V.ONE, V.X])
+
+
+class TestBasicOps:
+    def test_not_table(self):
+        assert V.v_not(V.ZERO) == V.ONE
+        assert V.v_not(V.ONE) == V.ZERO
+        assert V.v_not(V.X) == V.X
+
+    def test_and_table(self):
+        assert V.v_and(V.ZERO, V.X) == V.ZERO
+        assert V.v_and(V.X, V.ZERO) == V.ZERO
+        assert V.v_and(V.ONE, V.ONE) == V.ONE
+        assert V.v_and(V.ONE, V.X) == V.X
+        assert V.v_and(V.X, V.X) == V.X
+
+    def test_or_table(self):
+        assert V.v_or(V.ONE, V.X) == V.ONE
+        assert V.v_or(V.X, V.ONE) == V.ONE
+        assert V.v_or(V.ZERO, V.ZERO) == V.ZERO
+        assert V.v_or(V.ZERO, V.X) == V.X
+
+    def test_xor_table(self):
+        assert V.v_xor(V.ZERO, V.ONE) == V.ONE
+        assert V.v_xor(V.ONE, V.ONE) == V.ZERO
+        assert V.v_xor(V.X, V.ONE) == V.X
+        assert V.v_xor(V.ZERO, V.X) == V.X
+
+    @given(ternary, ternary)
+    def test_de_morgan(self, a, b):
+        assert V.v_not(V.v_and(a, b)) == V.v_or(V.v_not(a), V.v_not(b))
+
+    @given(ternary, ternary)
+    def test_commutativity(self, a, b):
+        assert V.v_and(a, b) == V.v_and(b, a)
+        assert V.v_or(a, b) == V.v_or(b, a)
+        assert V.v_xor(a, b) == V.v_xor(b, a)
+
+    @given(binary, binary)
+    def test_binary_agrees_with_python(self, a, b):
+        assert V.v_and(a, b) == (a & b)
+        assert V.v_or(a, b) == (a | b)
+        assert V.v_xor(a, b) == (a ^ b)
+        assert V.v_not(a) == (1 - a)
+
+    @given(st.lists(ternary, min_size=1, max_size=6))
+    def test_reductions_match_pairwise(self, vals):
+        acc_and, acc_or, acc_xor = V.ONE, V.ZERO, V.ZERO
+        for v in vals:
+            acc_and = V.v_and(acc_and, v)
+            acc_or = V.v_or(acc_or, v)
+            acc_xor = V.v_xor(acc_xor, v)
+        assert V.v_and_all(vals) == acc_and
+        assert V.v_or_all(vals) == acc_or
+        assert V.v_xor_all(vals) == acc_xor
+
+
+class TestMergeCompat:
+    def test_merge_with_x(self):
+        assert V.merge(V.X, V.ONE) == V.ONE
+        assert V.merge(V.ZERO, V.X) == V.ZERO
+        assert V.merge(V.X, V.X) == V.X
+
+    def test_merge_conflict_raises(self):
+        with pytest.raises(ValueError):
+            V.merge(V.ZERO, V.ONE)
+
+    @given(ternary, ternary)
+    def test_compatible_iff_merge_succeeds(self, a, b):
+        if V.compatible(a, b):
+            V.merge(a, b)
+        else:
+            with pytest.raises(ValueError):
+                V.merge(a, b)
+
+
+class TestStrings:
+    def test_round_trip(self):
+        assert V.str_to_vector("01x") == [V.ZERO, V.ONE, V.X]
+        assert V.vector_to_str([V.ZERO, V.ONE, V.X]) == "01x"
+
+    def test_bad_char(self):
+        with pytest.raises(ValueError):
+            V.from_char("2")
+
+    @given(st.lists(ternary, max_size=16))
+    def test_vector_round_trip(self, vals):
+        assert V.str_to_vector(V.vector_to_str(vals)) == vals
+
+
+class TestPairs:
+    def test_transitions(self):
+        assert V.is_rising((0, 1))
+        assert V.is_falling((1, 0))
+        assert not V.is_rising((1, 1))
+        assert V.has_transition((0, 1))
+        assert V.has_transition((1, 0))
+        assert not V.has_transition((V.X, 1))
+
+    def test_steady(self):
+        assert V.is_steady((1, 1))
+        assert V.is_steady((0, 0))
+        assert not V.is_steady((0, 1))
+        assert not V.is_steady((V.X, V.X))
+
+    def test_pair_to_str(self):
+        assert V.pair_to_str((0, 1)) == "0->1"
+        assert V.pair_to_str((V.X, 0)) == "x->0"

@@ -1,0 +1,73 @@
+"""Tests for the structural Verilog writer."""
+
+import re
+
+import pytest
+
+from repro.circuits.benchmarks import get_circuit
+from repro.circuits.verilog import dump, dumps, mangle
+
+
+class TestMangle:
+    def test_clean_names_untouched(self):
+        assert mangle("G17") == "G17"
+        assert mangle("n_12") == "n_12"
+
+    def test_illegal_chars_replaced(self):
+        assert mangle("a@1") == "a_1"
+        assert mangle("x-y") == "x_y"
+
+    def test_leading_digit_prefixed(self):
+        assert mangle("1abc") == "n_1abc"
+
+
+class TestDump:
+    def test_s27_structure(self):
+        c = get_circuit("s27")
+        text = dumps(c)
+        assert text.startswith("module s27 (")
+        assert text.rstrip().endswith("endmodule")
+        # One primitive instance per gate.
+        for gate in c.topo_gates:
+            assert f"g_{gate.name}" in text
+        # Flops in one clocked block.
+        assert "always @(posedge clk)" in text
+        assert "G5 <= G10;" in text
+
+    def test_po_buffers(self):
+        c = get_circuit("s27")
+        text = dumps(c)
+        assert "output G17_po;" in text
+        assert "buf b_G17_po (G17_po, G17);" in text
+
+    def test_balanced_module(self):
+        text = dumps(get_circuit("s298"))
+        assert len(re.findall(r"^module\b", text, re.M)) == 1
+        assert len(re.findall(r"^endmodule\b", text, re.M)) == 1
+        # No dangling identifiers with illegal characters.
+        for token in re.findall(r"[A-Za-z_][\w$]*", text):
+            assert "@" not in token
+
+    def test_file_io(self, tmp_path):
+        path = tmp_path / "c.v"
+        dump(get_circuit("s27"), path)
+        assert path.read_text().startswith("module s27")
+
+    def test_duplicate_outputs_deduped(self):
+        from repro.circuits.netlist import Circuit
+
+        c = Circuit(name="dup")
+        c.add_input("a")
+        c.add_gate("n", "NOT", ["a"])
+        c.add_output("n")
+        c.add_output("n")
+        c.validate()
+        text = dumps(c)
+        assert text.count("output n_po;") == 1
+
+    def test_instance_counts(self):
+        c = get_circuit("s298")
+        text = dumps(c)
+        prims = re.findall(r"^\s{2}(and|nand|or|nor|xor|xnor|not|buf)\s", text, re.M)
+        # gates + one buf per distinct PO
+        assert len(prims) == c.num_gates + len(set(c.outputs))
