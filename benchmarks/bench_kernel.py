@@ -1,0 +1,206 @@
+"""Kernel benchmark: scalar reference vs compiled scalar vs bit-parallel.
+
+Times the three evaluation paths that share the compiled circuit IR
+(`repro.core.compiled`) on the benchmark suite and writes the results to
+``BENCH_kernel.json`` at the repository root -- the start of the repo's
+performance trajectory.  Two workloads:
+
+* **sequence simulation** (the Fig 4.9 inner loop): a length-``L``
+  functional simulation from the all-0 state, run with the pre-refactor
+  dict-based reference (`repro.logic.reference`), the compiled scalar
+  kernel, and the 64-lane packed word kernel (throughput normalized to
+  lane-cycles).
+* **fault grading** (the Tables 4.1-4.4 cost center): transition-fault
+  grading of a broadside test set on the largest bundled benchmark
+  circuit, scalar forced-resimulation reference vs the compiled PPSFP
+  bit-parallel grader -- the verdict sets are asserted identical before
+  the timings are recorded.
+
+Run directly: ``PYTHONPATH=src python benchmarks/bench_kernel.py``
+(options: ``--quick`` for a reduced workload).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+from pathlib import Path
+
+from repro.circuits.benchmarks import available, entry, get_circuit
+from repro.faults.fsim import TransitionFaultSimulator
+from repro.faults.lists import all_transition_faults
+from repro.logic.bitsim import simulate_sequences_packed
+from repro.logic.reference import (
+    grade_transition_faults_reference,
+    simulate_sequence_reference,
+)
+from repro.logic.simulator import (
+    extract_tests_from_sequence,
+    simulate_sequence,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_kernel.json"
+
+#: Circuits spanning the suite's size range for the sequence workload.
+SEQUENCE_CIRCUITS = ("s27", "s298", "s953", "s1423", "b14")
+
+
+def _best_of(repeats: int, fn) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def largest_circuit_name() -> str:
+    """Largest bundled benchmark by line count (registry parameters)."""
+
+    def size(name: str) -> int:
+        e = entry(name)
+        return e.n_inputs + e.n_flops + e.n_gates
+
+    return max(available(), key=size)
+
+
+def bench_sequences(length: int, repeats: int) -> dict[str, dict[str, float]]:
+    out: dict[str, dict[str, float]] = {}
+    for name in SEQUENCE_CIRCUITS:
+        circuit = get_circuit(name)
+        rng = random.Random(11)
+        vectors = [
+            [rng.randint(0, 1) for _ in circuit.inputs] for _ in range(length)
+        ]
+        init = [0] * len(circuit.flops)
+
+        t_ref = _best_of(
+            repeats,
+            lambda: simulate_sequence_reference(
+                circuit, init, vectors, keep_line_values=False
+            ),
+        )
+        t_compiled = _best_of(
+            repeats,
+            lambda: simulate_sequence(circuit, init, vectors, keep_line_values=False),
+        )
+        # 64 independent lanes in one packed run; normalize to one lane.
+        lanes = 64
+        lane_vectors = [
+            [[rng.randint(0, 1) for _ in circuit.inputs] for _ in range(length)]
+            for _ in range(lanes)
+        ]
+        t_packed = _best_of(
+            repeats,
+            lambda: simulate_sequences_packed(
+                circuit, [init] * lanes, lane_vectors
+            ),
+        )
+        out[name] = {
+            "lines": circuit.num_lines,
+            "cycles": length,
+            "scalar_reference_s": t_ref,
+            "compiled_scalar_s": t_compiled,
+            "packed64_total_s": t_packed,
+            "packed64_per_lane_s": t_packed / lanes,
+            "compiled_scalar_speedup": t_ref / t_compiled if t_compiled else 0.0,
+            "packed_per_lane_speedup": t_ref / (t_packed / lanes) if t_packed else 0.0,
+        }
+        print(
+            f"  {name:8s} ({circuit.num_lines:5d} lines): "
+            f"ref {t_ref * 1e3:8.2f} ms | compiled {t_compiled * 1e3:8.2f} ms "
+            f"({out[name]['compiled_scalar_speedup']:.2f}x) | "
+            f"packed/lane {t_packed / lanes * 1e3:8.3f} ms "
+            f"({out[name]['packed_per_lane_speedup']:.1f}x)"
+        )
+    return out
+
+
+def bench_fault_grading(
+    name: str, n_tests: int, n_faults: int, repeats: int
+) -> dict[str, object]:
+    circuit = get_circuit(name)
+    rng = random.Random(23)
+    length = 2 * n_tests + 2
+    vectors = [[rng.randint(0, 1) for _ in circuit.inputs] for _ in range(length)]
+    init = [0] * len(circuit.flops)
+    trajectory = simulate_sequence(circuit, init, vectors, keep_line_values=False)
+    tests = extract_tests_from_sequence(circuit, trajectory, vectors, spacing=2)[
+        :n_tests
+    ]
+    faults = all_transition_faults(circuit)
+    faults = rng.sample(faults, min(n_faults, len(faults)))
+
+    grader = TransitionFaultSimulator(circuit)
+    detected_compiled = grader.detected_faults(tests, faults)
+    detected_scalar = grade_transition_faults_reference(circuit, tests, faults)
+    assert detected_compiled == detected_scalar, "verdict mismatch: bench aborted"
+
+    t_scalar = _best_of(
+        repeats, lambda: grade_transition_faults_reference(circuit, tests, faults)
+    )
+    t_compiled = _best_of(
+        repeats, lambda: TransitionFaultSimulator(circuit).detected_faults(tests, faults)
+    )
+    result = {
+        "circuit": name,
+        "lines": circuit.num_lines,
+        "n_tests": len(tests),
+        "n_faults": len(faults),
+        "n_detected": len(detected_compiled),
+        "scalar_reference_s": t_scalar,
+        "compiled_bitparallel_s": t_compiled,
+        "speedup": t_scalar / t_compiled if t_compiled else 0.0,
+    }
+    print(
+        f"  {name} ({circuit.num_lines} lines, {len(tests)} tests x "
+        f"{len(faults)} faults): scalar {t_scalar:.3f} s | "
+        f"compiled PPSFP {t_compiled:.3f} s | speedup {result['speedup']:.1f}x"
+    )
+    return result
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="reduced workload")
+    parser.add_argument("--output", type=Path, default=OUTPUT)
+    args = parser.parse_args(argv)
+
+    length = 60 if args.quick else 200
+    n_tests = 16 if args.quick else 64
+    n_faults = 24 if args.quick else 80
+    repeats = 1 if args.quick else 2
+
+    print("sequence simulation (scalar reference vs compiled vs packed):")
+    sequences = bench_sequences(length, repeats)
+    largest = largest_circuit_name()
+    print(f"transition-fault grading on the largest bundled circuit ({largest}):")
+    grading = bench_fault_grading(largest, n_tests, n_faults, repeats)
+
+    payload = {
+        "benchmark": "kernel",
+        "unix_time": int(time.time()),
+        "python": sys.version.split()[0],
+        "workload": {
+            "sequence_cycles": length,
+            "grading_tests": n_tests,
+            "grading_faults": n_faults,
+            "repeats": repeats,
+        },
+        "sequence_simulation": sequences,
+        "fault_grading": grading,
+    }
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    if grading["speedup"] < 3.0:
+        print("WARNING: compiled fault grading below the 3x target", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -83,6 +83,7 @@ class Circuit:
 
     def __post_init__(self) -> None:
         self._cache: dict[str, object] = {}
+        self._version = 0
 
     # ------------------------------------------------------------------
     # Construction
@@ -121,6 +122,20 @@ class Circuit:
 
     def _invalidate(self) -> None:
         self._cache = {}
+        self._version += 1
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter, bumped on every structural edit.
+
+        Consumers that derive expensive structure from the netlist (the
+        compiled IR in :mod:`repro.core.compiled`) key their memoization on
+        this counter so mutation invalidates them.  Direct mutation of the
+        ``gates`` dict or the ``inputs``/``outputs``/``flops`` lists bypasses
+        the counter, exactly as it bypasses the lazy structure caches; use
+        the ``add_*`` methods.
+        """
+        return self._version
 
     # ------------------------------------------------------------------
     # Structure queries

@@ -39,6 +39,7 @@ from repro.bist.counters import ControllerCounters
 from repro.bist.tpg import DevelopedTpg
 from repro.circuits.netlist import Circuit
 from repro.circuits.scan import ScanChains
+from repro.core.compiled import compile_circuit
 from repro.faults.fsim import FaultGrader, compact_groups
 from repro.faults.models import TransitionFault
 from repro.logic.patterns import BroadsideTest
@@ -146,6 +147,9 @@ class BuiltinGenerator:
         combinable with state holding (holding deliberately leaves the
         functional pattern space)."""
         self.circuit = circuit
+        # One compiled instance serves every segment simulation of every
+        # seed; the grader's PPSFP chunks share it through the same cache.
+        self.compiled = compile_circuit(circuit)
         self.config = config or BuiltinGenConfig()
         self.tpg = tpg or DevelopedTpg.for_circuit(circuit)
         self.swa_func = swa_func  # None = unconstrained ("buffers" column)
@@ -233,12 +237,14 @@ class BuiltinGenerator:
                 pi_vectors,
                 hold_set=hold_set,
                 hold_period_log2=self.config.hold_period_log2,
+                compiled=self.compiled,
             )
         return simulate_sequence(
             self.circuit,
             state,
             pi_vectors,
             keep_line_values=self.pattern_bank is not None,
+            compiled=self.compiled,
         )
 
     def _construct_sequence(

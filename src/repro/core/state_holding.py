@@ -27,8 +27,9 @@ from typing import Sequence
 
 from repro.circuits.netlist import Circuit
 from repro.core.builtin_gen import BuiltinGenConfig, BuiltinGenerator, BuiltinGenResult
+from repro.core.compiled import CompiledCircuit, compile_circuit
 from repro.faults.models import TransitionFault
-from repro.logic.simulator import SequenceResult, next_state, simulate_comb
+from repro.logic.simulator import SequenceResult
 
 
 def simulate_with_holding(
@@ -37,6 +38,7 @@ def simulate_with_holding(
     pi_vectors: Sequence[Sequence[int]],
     hold_set: Sequence[str],
     hold_period_log2: int = 2,
+    compiled: CompiledCircuit | None = None,
 ) -> SequenceResult:
     """Functional simulation with periodic state holding.
 
@@ -44,34 +46,43 @@ def simulate_with_holding(
     ``hold_set`` do not capture: ``s(i+1)[held] = s(i)[held]``.  Because
     tests are applied every 2 cycles starting at even ``i`` and ``h >= 1``,
     held transitions are always launch transitions, never captures.
+
+    Like :func:`repro.logic.simulator.simulate_sequence`, the loop runs on
+    the compiled IR with flat valuation arrays; the held state variables
+    are a precomputed index list applied after each capture.
     """
     if hold_period_log2 < 1:
         raise ValueError("h must be >= 1 so capture transitions are never held")
     period = 1 << hold_period_log2
-    held = [q for q in circuit.state_lines if q in set(hold_set)]
+    cc = compiled if compiled is not None else compile_circuit(circuit)
+    hold_names = set(hold_set)
+    held = [k for k, q in enumerate(circuit.state_lines) if q in hold_names]
+    n_inputs = cc.n_inputs
+    n_sources = cc.n_sources
+    ns_indices = cc.next_state_indices
+    n_lines = cc.num_lines
     state = tuple(initial_state)
     states = [state]
     switching: list[float] = []
-    prev_values: dict[str, int] | None = None
-    n_lines = circuit.num_lines
+    prev: list[int] | None = None
     for i, p in enumerate(pi_vectors):
-        values = simulate_comb(
-            circuit,
-            dict(zip(circuit.inputs, p)) | dict(zip(circuit.state_lines, state)),
-        )
-        if prev_values is None:
+        values = cc.x_frame()
+        for j, b in zip(range(n_inputs), p):
+            values[j] = b
+        values[n_inputs:n_sources] = state
+        cc.eval_scalar(values)
+        if prev is None:
             switching.append(0.0)
         else:
-            changed = sum(1 for line, v in values.items() if v != prev_values[line])
+            changed = sum(1 for a, b in zip(values, prev) if a != b)
             switching.append(100.0 * changed / n_lines)
-        nxt = list(next_state(circuit, values))
-        if i % period == 0 and held:
-            index = {q: k for k, q in enumerate(circuit.state_lines)}
-            for q in held:
-                nxt[index[q]] = state[index[q]]
+        nxt = [values[idx] for idx in ns_indices]
+        if held and i % period == 0:
+            for k in held:
+                nxt[k] = state[k]
         state = tuple(nxt)
         states.append(state)
-        prev_values = values
+        prev = values
     return SequenceResult(states=states, line_values=[], switching=switching)
 
 

@@ -11,7 +11,10 @@ two-frame semantics (Section 1.2): a ``v -> v'`` transition fault at line
 
 Simulation is PPSFP-style: all tests of a chunk are packed into integer
 words (one bit lane per test), the fault-free frames are evaluated once,
-and each fault re-evaluates only its fanout cone.
+and each fault re-evaluates only its fanout cone.  Everything runs in the
+line-index space of the compiled circuit IR (:mod:`repro.core.compiled`):
+frames are flat arrays, cones are precompiled schedule slices, and each
+fault checks only the observation lines its cone can reach.
 
 The module also provides test-set compaction over *seed groups* -- the
 reverse-order / forward-looking pass of [89] used by Chapter 4 to reduce
@@ -24,8 +27,9 @@ from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from repro.circuits.netlist import Circuit
+from repro.core.compiled import CompiledCircuit, compile_circuit
 from repro.faults.models import StuckAtFault, TransitionFault
-from repro.logic.bitsim import PatternSimulator, pack_vectors
+from repro.logic.bitsim import pack_columns_indexed
 from repro.logic.patterns import BroadsideTest, Pattern
 
 
@@ -34,20 +38,32 @@ def _value_word(word: int, value: int, mask: int) -> int:
     return word if value == 1 else (word ^ mask)
 
 
+def _pack_frame(
+    compiled: CompiledCircuit,
+    pi_vectors: Sequence[Sequence[int]],
+    state_vectors: Sequence[Sequence[int]],
+    mask: int,
+) -> list[int]:
+    """Pack one two-valued frame straight into a valuation array and evaluate."""
+    values = compiled.zero_frame()
+    pack_columns_indexed(values, pi_vectors, 0)
+    pack_columns_indexed(values, state_vectors, compiled.n_inputs)
+    compiled.eval_words(values, mask)
+    return values
+
+
 class TransitionFaultSimulator:
     """Grades transition faults against broadside test sets."""
 
     def __init__(self, circuit: Circuit, chunk_size: int = 256):
         self.circuit = circuit
-        self.sim = PatternSimulator(circuit)
+        self.compiled = compile_circuit(circuit)
         self.chunk_size = chunk_size
-        # Observation points: primary outputs plus next-state lines.
-        seen: set[str] = set()
-        self.observation: list[str] = []
-        for line in circuit.observation_lines:
-            if line not in seen:
-                seen.add(line)
-                self.observation.append(line)
+        # Observation points: primary outputs plus next-state lines (the
+        # compiled IR deduplicates, preserving order).
+        self.observation: list[str] = [
+            self.compiled.names[i] for i in self.compiled.observation_indices
+        ]
 
     # ------------------------------------------------------------------
     def detection_words(
@@ -91,27 +107,29 @@ class TransitionFaultSimulator:
         if n == 0:
             return dict.fromkeys(faults, 0)
         mask = (1 << n) - 1
-        circuit = self.circuit
-        frame1 = pack_vectors([t.v1 for t in tests], circuit.inputs)
-        frame1.update(pack_vectors([t.s1 for t in tests], circuit.state_lines))
-        frame2 = pack_vectors([t.v2 for t in tests], circuit.inputs)
-        frame2.update(pack_vectors([t.s2 for t in tests], circuit.state_lines))
-        good1 = self.sim.run(frame1, n)
-        good2 = self.sim.run(frame2, n)
+        cc = self.compiled
+        good1 = _pack_frame(cc, [t.v1 for t in tests], [t.s1 for t in tests], mask)
+        good2 = _pack_frame(cc, [t.v2 for t in tests], [t.s2 for t in tests], mask)
+        index = cc.index
         out: dict[TransitionFault, int] = {}
         for fault in faults:
-            g = fault.line
+            g = index[fault.line]
             act = _value_word(good1[g], fault.initial_value, mask) & _value_word(
                 good2[g], fault.final_value, mask
             )
             if not act:
                 out[fault] = 0
                 continue
+            _, cone_obs = cc.cone(g)
+            if not cone_obs:
+                out[fault] = 0
+                continue
             forced = mask if fault.stuck_value == 1 else 0
-            faulty = self.sim.run_faulty_cone(good2, g, forced, n)
+            faulty = cc.faulty_cone_words(good2, g, forced, mask)
+            get = faulty.get
             det = 0
-            for obs in self.observation:
-                fv = faulty.get(obs)
+            for obs in cone_obs:
+                fv = get(obs)
                 if fv is not None:
                     det |= fv ^ good2[obs]
                     if det & act == act:
@@ -170,26 +188,30 @@ def stuck_at_detection_words(
     circuit: Circuit, patterns: Sequence[Pattern], faults: Sequence[StuckAtFault]
 ) -> dict[StuckAtFault, int]:
     """Per-fault detection words for combinational (single-pattern) tests."""
-    sim = PatternSimulator(circuit)
+    cc = compile_circuit(circuit)
     n = len(patterns)
     words = dict.fromkeys(faults, 0)
     if n == 0:
         return words
     mask = (1 << n) - 1
-    inputs = pack_vectors([p.pi for p in patterns], circuit.inputs)
-    inputs.update(pack_vectors([p.state for p in patterns], circuit.state_lines))
-    good = sim.run(inputs, n)
-    seen: set[str] = set()
-    observation = [l for l in circuit.observation_lines if not (l in seen or seen.add(l))]
+    good = _pack_frame(
+        cc, [p.pi for p in patterns], [p.state for p in patterns], mask
+    )
+    index = cc.index
     for fault in faults:
-        act = _value_word(good[fault.line], 1 - fault.value, mask)
+        g = index[fault.line]
+        act = _value_word(good[g], 1 - fault.value, mask)
         if not act:
             continue
+        _, cone_obs = cc.cone(g)
+        if not cone_obs:
+            continue
         forced = mask if fault.value == 1 else 0
-        faulty = sim.run_faulty_cone(good, fault.line, forced, n)
+        faulty = cc.faulty_cone_words(good, g, forced, mask)
+        get = faulty.get
         det = 0
-        for obs in observation:
-            fv = faulty.get(obs)
+        for obs in cone_obs:
+            fv = get(obs)
             if fv is not None:
                 det |= fv ^ good[obs]
         words[fault] = det & act

@@ -14,8 +14,12 @@ position ``t`` of every line's word carries pattern/lane ``t``:
   numpy popcount, which is what makes Chapter 4's SWA estimation over many
   LFSR seeds tractable in pure Python.
 
-The scalar three-valued simulator (:mod:`repro.logic.simulator`) is the
-semantic reference; ``tests/test_bitsim.py`` property-checks agreement.
+Both paths evaluate through the compiled circuit IR
+(:mod:`repro.core.compiled`): one integer-indexed schedule shared with the
+scalar simulator, compiled once per netlist version.  The scalar
+three-valued simulator (:mod:`repro.logic.simulator`) is the semantic
+reference; ``tests/test_bitsim.py`` and ``tests/test_compiled.py``
+property-check agreement.
 """
 
 from __future__ import annotations
@@ -25,8 +29,9 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
-from repro.circuits.gates import GateType, evaluate_word
+from repro.circuits.gates import GateType
 from repro.circuits.netlist import Circuit
+from repro.core.compiled import compile_circuit
 
 
 def pack_bits(bits: Sequence[int]) -> int:
@@ -57,43 +62,71 @@ def pack_vectors(vectors: Sequence[Sequence[int]], names: Sequence[str]) -> dict
     return words
 
 
+def pack_columns_indexed(
+    values: list[int], vectors: Sequence[Sequence[int]], offset: int
+) -> None:
+    """Pack per-pattern vectors columnwise into a valuation array slice.
+
+    ``vectors[t][j]`` lands in bit ``t`` of ``values[offset + j]`` -- the
+    index-space analogue of :func:`pack_vectors`, writing straight into a
+    compiled-circuit frame.
+    """
+    for t, vec in enumerate(vectors):
+        bit = 1 << t
+        for j, v in enumerate(vec):
+            if v:
+                values[offset + j] |= bit
+
+
 class PatternSimulator:
-    """Bit-parallel combinational simulator with fanout-cone fault injection."""
+    """Bit-parallel combinational simulator with fanout-cone fault injection.
+
+    Compiles the circuit once (through the memoized compile cache) and
+    evaluates packed words over the integer-indexed schedule.  The
+    ``*_indexed`` methods work directly in line-index space -- the form
+    fault simulation uses; the name-keyed methods are thin dict views kept
+    for the pre-refactor API.
+    """
 
     def __init__(self, circuit: Circuit):
         self.circuit = circuit
-        self._topo: list[tuple[str, GateType, tuple[str, ...]]] = [
-            (g.name, g.gate_type, g.inputs) for g in circuit.topo_gates
-        ]
-        self._topo_index = {name: i for i, (name, _, _) in enumerate(self._topo)}
-        self._cone_cache: dict[str, list[tuple[str, GateType, tuple[str, ...]]]] = {}
+        self.compiled = compile_circuit(circuit)
 
-    def run(self, input_words: Mapping[str, int], n_patterns: int) -> dict[str, int]:
-        """Evaluate all lines for ``n_patterns`` packed patterns.
+    # -- index-space core ------------------------------------------------
+    def run_indexed(self, input_words: Mapping[str, int], n_patterns: int) -> list[int]:
+        """Evaluate all lines; returns the packed valuation array.
 
         ``input_words`` maps primary-input and present-state line names to
-        packed words; missing inputs default to all-zero.
+        packed words; missing inputs default to all-zero, non-input keys
+        are ignored (fault simulation passes whole-frame maps).
         """
+        cc = self.compiled
         mask = (1 << n_patterns) - 1
-        values: dict[str, int] = {line: 0 for line in self.circuit.comb_input_lines}
+        values = cc.zero_frame()
+        index = cc.index
+        n_sources = cc.n_sources
         for name, word in input_words.items():
-            if name in values:
-                values[name] = word & mask
-        for name, gate_type, inputs in self._topo:
-            values[name] = evaluate_word(
-                gate_type, [values[i] for i in inputs], mask
-            )
+            idx = index.get(name)
+            if idx is not None and idx < n_sources:
+                values[idx] = word & mask
+        cc.eval_words(values, mask)
         return values
+
+    # -- name-keyed views ------------------------------------------------
+    def run(self, input_words: Mapping[str, int], n_patterns: int) -> dict[str, int]:
+        """Evaluate all lines for ``n_patterns`` packed patterns (dict view)."""
+        return self.compiled.as_dict(self.run_indexed(input_words, n_patterns))
 
     def cone(self, line: str) -> list[tuple[str, GateType, tuple[str, ...]]]:
         """Gates in the transitive fanout of ``line``, topologically ordered."""
-        cached = self._cone_cache.get(line)
-        if cached is not None:
-            return cached
-        member = self.circuit.transitive_fanout(line)
-        cone = [entry for entry in self._topo if entry[0] in member]
-        self._cone_cache[line] = cone
-        return cone
+        cc = self.compiled
+        entries, _ = cc.cone(cc.index[line])
+        gates = self.circuit.gates
+        out: list[tuple[str, GateType, tuple[str, ...]]] = []
+        for out_idx, _, _, _ in entries:
+            gate = gates[cc.names[out_idx]]
+            out.append((gate.name, gate.gate_type, gate.inputs))
+        return out
 
     def run_faulty_cone(
         self,
@@ -105,19 +138,17 @@ class PatternSimulator:
         """Re-evaluate the fanout cone of ``line`` with its value forced.
 
         Returns a sparse map holding values only for ``line`` and the cone
-        gates; lines absent from the map keep their good value.  This is
-        the single-fault-injection primitive of PPSFP fault simulation.
+        gates that diverge; lines absent from the map keep their good
+        value.  This is the single-fault-injection primitive of PPSFP fault
+        simulation (fault grading itself uses the index-space form,
+        :meth:`repro.core.compiled.CompiledCircuit.faulty_cone_words`).
         """
+        cc = self.compiled
         mask = (1 << n_patterns) - 1
-        faulty: dict[str, int] = {line: forced_word & mask}
-        for name, gate_type, inputs in self.cone(line):
-            words = [faulty[i] if i in faulty else good_values[i] for i in inputs]
-            new = evaluate_word(gate_type, words, mask)
-            # Only record divergence: a gate that converged back to its good
-            # value is read through ``good_values`` by downstream gates.
-            if new != good_values[name]:
-                faulty[name] = new
-        return faulty
+        good = [good_values[name] for name in cc.names]
+        faulty = cc.faulty_cone_words(good, cc.index[line], forced_word, mask)
+        names = cc.names
+        return {names[i]: w for i, w in faulty.items()}
 
 
 @dataclass(frozen=True)
@@ -176,34 +207,48 @@ def simulate_sequences_packed(
     if any(len(seq) != length for seq in pi_sequences):
         raise ValueError("all lanes must have equal sequence length")
 
-    sim = PatternSimulator(circuit)
-    lines = list(count_lines) if count_lines is not None else circuit.lines
-    n_lines = len(lines)
-    state_words = pack_vectors(initial_states, circuit.state_lines)
-    states = [dict(state_words)]
+    cc = compile_circuit(circuit)
+    mask = (1 << n_lanes) - 1
+    n_inputs = cc.n_inputs
+    n_sources = cc.n_sources
+    state_lines = circuit.state_lines
+    ns_indices = cc.next_state_indices
+    # Line order of ``cc.names`` equals ``circuit.lines``, so counting all
+    # lines reads the valuation array directly; a subset goes through a
+    # precomputed index list.
+    count_idx = (
+        None if count_lines is None else [cc.index[line] for line in count_lines]
+    )
+    n_lines = cc.num_lines if count_idx is None else len(count_idx)
+
+    state_words = [0] * cc.n_state
+    pack_columns_indexed(state_words, initial_states, 0)
+    states = [dict(zip(state_lines, state_words))]
     switching = np.zeros((length, n_lanes), dtype=np.int64)
     prev_arr: np.ndarray | None = None
-    values: dict[str, int] = {}
+    values: list[int] = cc.zero_frame()
     for cycle in range(length):
-        pi_vec_per_lane = [pi_sequences[k][cycle] for k in range(n_lanes)]
-        pi_words = pack_vectors(pi_vec_per_lane, circuit.inputs)
-        values = sim.run({**pi_words, **state_words}, n_lanes)
-        cur_arr = np.fromiter(
-            (values[line] for line in lines), dtype=np.uint64, count=n_lines
+        values = cc.zero_frame()
+        pack_columns_indexed(
+            values, [pi_sequences[k][cycle] for k in range(n_lanes)], 0
         )
+        values[n_inputs:n_sources] = state_words
+        cc.eval_words(values, mask)
+        counted = values if count_idx is None else [values[i] for i in count_idx]
+        cur_arr = np.fromiter(counted, dtype=np.uint64, count=n_lines)
         if prev_arr is not None:
             diff = prev_arr ^ cur_arr
             bits = np.unpackbits(diff.view(np.uint8), bitorder="little")
             counts = bits.reshape(n_lines, 64).sum(axis=0)
             switching[cycle] = counts[:n_lanes]
         prev_arr = cur_arr
-        state_words = {f.q: values[f.d] for f in circuit.flops}
-        states.append(dict(state_words))
+        state_words = [values[i] for i in ns_indices]
+        states.append(dict(zip(state_lines, state_words)))
     return PackedSequenceResult(
         states=states,
         switching_counts=switching,
         n_lanes=n_lanes,
-        final_line_values=values,
+        final_line_values=cc.as_dict(values),
     )
 
 

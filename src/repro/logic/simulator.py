@@ -23,25 +23,30 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
-from repro.circuits.gates import evaluate
 from repro.circuits.netlist import Circuit
+from repro.core.compiled import CompiledCircuit, compile_circuit
 from repro.logic.patterns import BroadsideTest, Pattern, pattern_values
 from repro.logic.values import X, is_binary
 
 
-def simulate_comb(circuit: Circuit, input_values: Mapping[str, int]) -> dict[str, int]:
+def simulate_comb(
+    circuit: Circuit, input_values: Mapping[str, int], *, partial: bool = False
+) -> dict[str, int]:
     """Evaluate the combinational core; unassigned inputs are X.
 
     ``input_values`` maps primary-input and present-state line names to
-    values.  Returns a value for every line in the circuit.
+    values; a key that names anything else (a gate output, a typo) raises
+    :class:`ValueError` so misdirected assignments cannot silently become
+    X.  Pass ``partial=True`` to ignore unknown keys instead -- the escape
+    hatch for callers (ATPG time-frame models) that hold assignments over a
+    superset of the circuit's input space.  Returns a value for every line
+    in the circuit.
     """
-    values: dict[str, int] = {line: X for line in circuit.comb_input_lines}
-    values.update(
-        (k, v) for k, v in input_values.items() if k in values
-    )
-    for gate in circuit.topo_gates:
-        values[gate.name] = evaluate(gate.gate_type, [values[i] for i in gate.inputs])
-    return values
+    compiled = compile_circuit(circuit)
+    values = compiled.x_frame()
+    compiled.load_inputs(values, input_values, partial=partial)
+    compiled.eval_scalar(values)
+    return compiled.as_dict(values)
 
 
 def next_state(circuit: Circuit, line_values: Mapping[str, int]) -> tuple[int, ...]:
@@ -92,38 +97,51 @@ def simulate_sequence(
     initial_state: Sequence[int],
     pi_vectors: Sequence[Sequence[int]],
     keep_line_values: bool = True,
+    compiled: CompiledCircuit | None = None,
 ) -> SequenceResult:
     """Functional simulation of a primary input sequence.
 
     Applies ``pi_vectors[0..L-1]`` from ``initial_state``; the circuit
     traverses ``s(0)=initial_state, s(1), ..., s(L)`` where ``s(i+1)`` is
     the response to ``<s(i), p(i)>``.
+
+    The whole trajectory runs on the compiled IR: per cycle, one flat
+    valuation array is evaluated and the switching-activity count is an
+    elementwise comparison of consecutive arrays -- no per-line dict
+    traffic.  Callers owning a :class:`CompiledCircuit` (the built-in
+    generation loop simulates hundreds of segments of one circuit) may pass
+    it as ``compiled``; otherwise the memoized compile cache supplies it.
     """
+    cc = compiled if compiled is not None else compile_circuit(circuit)
     state = tuple(initial_state)
-    if len(state) != len(circuit.flops):
+    if len(state) != cc.n_state:
         raise ValueError(
-            f"initial state has {len(state)} bits, circuit has {len(circuit.flops)} flops"
+            f"initial state has {len(state)} bits, circuit has {cc.n_state} flops"
         )
+    n_inputs = cc.n_inputs
+    n_sources = cc.n_sources
+    ns_indices = cc.next_state_indices
     states = [state]
     all_values: list[dict[str, int]] = []
     switching: list[float] = []
-    prev_values: dict[str, int] | None = None
-    n_lines = circuit.num_lines
+    prev: list[int] | None = None
+    n_lines = cc.num_lines
     for p in pi_vectors:
-        values = simulate_comb(
-            circuit,
-            dict(zip(circuit.inputs, p)) | dict(zip(circuit.state_lines, state)),
-        )
-        if prev_values is None:
+        values = cc.x_frame()
+        for j, b in zip(range(n_inputs), p):
+            values[j] = b
+        values[n_inputs:n_sources] = state
+        cc.eval_scalar(values)
+        if prev is None:
             switching.append(0.0)
         else:
-            changed = sum(1 for line, v in values.items() if v != prev_values[line])
+            changed = sum(1 for a, b in zip(values, prev) if a != b)
             switching.append(100.0 * changed / n_lines)
-        state = next_state(circuit, values)
+        state = tuple(values[i] for i in ns_indices)
         states.append(state)
         if keep_line_values:
-            all_values.append(values)
-        prev_values = values
+            all_values.append(cc.as_dict(values))
+        prev = values
     return SequenceResult(states=states, line_values=all_values, switching=switching)
 
 
