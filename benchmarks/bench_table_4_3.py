@@ -9,11 +9,17 @@ the paper:
 * a large SWA_func drop costs fault coverage, a small one costs little.
 """
 
+import os
+
 from repro.core.builtin_gen import BuiltinGenConfig
 from repro.experiments.tables4 import render_table_4_3, run_table_4_3
 
 TARGETS = ("s298", "s344")
 DRIVERS = ("s344", "s641", "s953", "s820")
+
+#: Worker processes for the per-target rows (results identical for any
+#: value); settable from the environment for CI experimentation.
+JOBS = int(os.environ.get("REPRO_JOBS", "1"))
 
 
 def test_table_4_3(benchmark):
@@ -25,6 +31,7 @@ def test_table_4_3(benchmark):
             "config": BuiltinGenConfig(segment_length=120, time_limit=15, rng_seed=2),
             "n_sequences": 12,
             "func_length": 100,
+            "jobs": JOBS,
         },
         rounds=1,
         iterations=1,

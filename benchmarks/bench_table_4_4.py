@@ -10,6 +10,8 @@ with each set held every 4 cycles.  Shape claims:
 * the extra area over the Table 4.3 hardware is small.
 """
 
+import os
+
 from repro.core.builtin_gen import BuiltinGenConfig
 from repro.experiments.tables4 import (
     render_table_4_4,
@@ -20,6 +22,10 @@ from repro.experiments.tables4 import (
 TARGETS = ("s298",)
 DRIVERS = ("s344", "s953", "s820")
 
+#: Worker processes for the per-case rows (results identical for any
+#: value); settable from the environment for CI experimentation.
+JOBS = int(os.environ.get("REPRO_JOBS", "1"))
+
 
 def test_table_4_4(benchmark):
     base_cases = run_table_4_3(
@@ -28,6 +34,7 @@ def test_table_4_4(benchmark):
         config=BuiltinGenConfig(segment_length=120, time_limit=12, rng_seed=2),
         n_sequences=12,
         func_length=100,
+        jobs=JOBS,
     )
     cases = benchmark.pedantic(
         run_table_4_4,
@@ -36,6 +43,7 @@ def test_table_4_4(benchmark):
             "fc_threshold": 95.0,
             "tree_height": 2,
             "config": BuiltinGenConfig(segment_length=120, time_limit=10, rng_seed=3),
+            "jobs": JOBS,
         },
         rounds=1,
         iterations=1,

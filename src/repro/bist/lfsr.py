@@ -71,6 +71,14 @@ def primitive_taps(n: int) -> tuple[int, ...]:
         raise ValueError(f"no primitive polynomial tabulated for n={n}") from None
 
 
+def tap_mask(taps: Sequence[int]) -> int:
+    """Bit mask with a 1 at stage ``Q(t)`` (bit ``t - 1``) for every tap."""
+    mask = 0
+    for t in taps:
+        mask |= 1 << (t - 1)
+    return mask
+
+
 @dataclass
 class Lfsr:
     """An n-stage Fibonacci LFSR.
@@ -90,6 +98,8 @@ class Lfsr:
         if not 0 < self.seed < (1 << self.n):
             raise ValueError("seed must be a non-zero n-bit value")
         self._state = self.seed
+        self._mask = (1 << self.n) - 1
+        self._tap_mask = tap_mask(self.taps)
 
     @property
     def state(self) -> int:
@@ -115,11 +125,13 @@ class Lfsr:
         low-weight seed produces a useful stream from the first cycle --
         unlike tapping ``Qn``, which would emit the seed's leading zeros
         for up to ``n`` cycles.
+
+        The feedback bit is the parity of the tapped stages, computed as
+        one AND against the precomputed tap mask plus a popcount rather
+        than a per-tap Python loop.
         """
-        fb = 0
-        for t in self.taps:  # type: ignore[union-attr]
-            fb ^= (self._state >> (t - 1)) & 1
-        self._state = ((self._state << 1) | fb) & ((1 << self.n) - 1)
+        fb = (self._state & self._tap_mask).bit_count() & 1
+        self._state = ((self._state << 1) | fb) & self._mask
         return fb
 
     def run(self, cycles: int) -> list[int]:
@@ -137,6 +149,67 @@ class Lfsr:
         raise RuntimeError("period exceeds limit")
 
 
+class LfsrLanes:
+    """Up to 64 independent n-stage LFSRs stepped together, bit-sliced.
+
+    The state is stored *transposed* relative to :class:`Lfsr`: one word
+    per stage, where bit ``t`` of ``stage_words[i]`` is stage ``Q(i+1)``
+    of lane ``t``.  Stepping all lanes then costs one XOR per tap plus a
+    list rotation -- independent of the lane count -- instead of one
+    :meth:`Lfsr.step` call per lane.  Lane ``t`` traverses exactly the
+    state sequence of ``Lfsr(n=n, taps=taps, seed=seeds[t])``.
+
+    This is the stepping engine behind the multi-seed TPG expansion of
+    the batched Fig 4.9 construction loop
+    (:meth:`repro.bist.tpg.DevelopedTpg.sequence_batch`).
+    """
+
+    def __init__(
+        self, n: int, seeds: Sequence[int], taps: Sequence[int] | None = None
+    ):
+        if not 0 < len(seeds) <= 64:
+            raise ValueError("between 1 and 64 lanes required")
+        self.n = n
+        self.taps: tuple[int, ...] = (
+            tuple(taps) if taps is not None else primitive_taps(n)
+        )
+        self.n_lanes = len(seeds)
+        for seed in seeds:
+            if not 0 < seed < (1 << n):
+                raise ValueError("every seed must be a non-zero n-bit value")
+        #: one word per stage; bit ``t`` of word ``i`` is lane ``t``'s Q(i+1)
+        self.stage_words: list[int] = [
+            sum(((seed >> i) & 1) << t for t, seed in enumerate(seeds))
+            for i in range(n)
+        ]
+
+    @property
+    def states(self) -> list[int]:
+        """Per-lane state integers (lane ``t`` = ``Lfsr.state`` equivalent)."""
+        return [
+            sum(((w >> t) & 1) << i for i, w in enumerate(self.stage_words))
+            for t in range(self.n_lanes)
+        ]
+
+    def step(self) -> int:
+        """Advance every lane one clock; returns the packed serial outputs.
+
+        Bit ``t`` of the returned word is lane ``t``'s serial output bit
+        (the new ``Q1``), matching :meth:`Lfsr.step`.
+        """
+        words = self.stage_words
+        fb = 0
+        for t in self.taps:
+            fb ^= words[t - 1]
+        words.insert(0, fb)
+        words.pop()
+        return fb
+
+    def run(self, cycles: int) -> list[int]:
+        """Advance ``cycles`` clocks; returns the packed serial stream."""
+        return [self.step() for _ in range(cycles)]
+
+
 @dataclass
 class Misr:
     """An n-stage multiple-input signature register (Fig 4.4)."""
@@ -148,6 +221,8 @@ class Misr:
         if self.taps is None:
             self.taps = primitive_taps(self.n)
         self._state = 0
+        self._mask = (1 << self.n) - 1
+        self._tap_mask = tap_mask(self.taps)
 
     @property
     def state(self) -> int:
@@ -175,10 +250,8 @@ class Misr:
             for i, b in enumerate(response):
                 if b:
                     data ^= 1 << (i % self.n)
-        fb = 0
-        for t in self.taps:  # type: ignore[union-attr]
-            fb ^= (self._state >> (t - 1)) & 1
-        self._state = (((self._state << 1) | fb) ^ data) & ((1 << self.n) - 1)
+        fb = (self._state & self._tap_mask).bit_count() & 1
+        self._state = (((self._state << 1) | fb) ^ data) & self._mask
         return self._state
 
     def absorb_stream(self, responses: Iterable[Sequence[int] | int]) -> int:

@@ -24,8 +24,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from typing import Sequence
+
 from repro.bist.cube import InputCube, compute_input_cube
-from repro.bist.lfsr import Lfsr
+from repro.bist.lfsr import PRIMITIVE_TAPS, Lfsr, LfsrLanes
 from repro.circuits.netlist import Circuit
 from repro.logic.values import is_binary
 
@@ -79,6 +81,29 @@ class TpgStructure:
                 vector.append(taps[0])
         return vector
 
+    def _words_from_bit_words(self, bit_words: Sequence[int], mask: int) -> list[int]:
+        """Lane-packed analogue of :meth:`_vector_from_bits`.
+
+        ``bit_words[i]`` carries register/stage bit ``i`` of every lane in
+        its bit positions; the biasing gates become bitwise AND/OR over the
+        tapped words, so one pass emits the primary input vector of *all*
+        lanes for this clock cycle.
+        """
+        row: list[int] = []
+        for v, alloc in zip(self.cube.values, self.allocation):
+            if v == 0:
+                w = mask
+                for i in alloc:
+                    w &= bit_words[i]
+            elif v == 1:
+                w = 0
+                for i in alloc:
+                    w |= bit_words[i]
+            else:
+                w = bit_words[alloc[0]]
+            row.append(w)
+        return row
+
 
 @dataclass
 class DevelopedTpg(TpgStructure):
@@ -131,6 +156,28 @@ class DevelopedTpg(TpgStructure):
         self.load_seed(seed)
         return [self.next_vector() for _ in range(length)]
 
+    def sequence_batch(self, seeds: Sequence[int], length: int) -> list[list[int]]:
+        """Lane-packed primary input sequences for up to 64 seeds at once.
+
+        Returns ``rows`` where bit ``t`` of ``rows[i][j]`` is the value of
+        primary input ``j`` at cycle ``i`` in the sequence of ``seeds[t]``
+        -- exactly ``sequence(seeds[t], length)``, bit-identical, but with
+        the LFSR, shift register, and biasing gates of every lane stepped
+        together through :class:`repro.bist.lfsr.LfsrLanes`.  The rows feed
+        the packed word simulator directly, no per-lane re-packing.
+        """
+        lanes = LfsrLanes(self.n_lfsr, list(seeds))
+        mask = (1 << lanes.n_lanes) - 1
+        register = list(
+            reversed([lanes.step() for _ in range(self.n_register_bits)])
+        )
+        rows: list[list[int]] = []
+        for _ in range(length):
+            register.insert(0, lanes.step())
+            register.pop()
+            rows.append(self._words_from_bit_words(register, mask))
+        return rows
+
 
 @dataclass
 class ReferenceTpg(TpgStructure):
@@ -160,18 +207,16 @@ class ReferenceTpg(TpgStructure):
         """LFSR length: d bits per primary input."""
         return self.d * len(self.cube.values)
 
+    def _taps(self) -> tuple[int, ...] | None:
+        # Fall back to a near-size tabulated polynomial extended with a
+        # direct feedback tap; periodicity suffices for simulation.
+        n = self.n_lfsr
+        return None if n in PRIMITIVE_TAPS else (n, max(1, n - 3))
+
     def load_seed(self, seed: int) -> None:
         """Reseed the LFSR."""
-        n = self.n_lfsr
-        taps = None
-        from repro.bist.lfsr import PRIMITIVE_TAPS
-
-        if n not in PRIMITIVE_TAPS:
-            # Fall back to a near-size tabulated polynomial extended with a
-            # direct feedback tap; periodicity suffices for simulation.
-            taps = (n, max(1, n - 3))
         if self._lfsr is None:
-            self._lfsr = Lfsr(n=n, taps=taps, seed=seed)
+            self._lfsr = Lfsr(n=self.n_lfsr, taps=self._taps(), seed=seed)
         else:
             self._lfsr.reseed(seed)
 
@@ -187,3 +232,17 @@ class ReferenceTpg(TpgStructure):
         """The primary input sequence produced from ``seed``."""
         self.load_seed(seed)
         return [self.next_vector() for _ in range(length)]
+
+    def sequence_batch(self, seeds: Sequence[int], length: int) -> list[list[int]]:
+        """Lane-packed sequences for up to 64 seeds (see
+        :meth:`DevelopedTpg.sequence_batch`); here the biasing gates tap
+        the LFSR stages directly, so the stage words of
+        :class:`repro.bist.lfsr.LfsrLanes` stand in for the shift register.
+        """
+        lanes = LfsrLanes(self.n_lfsr, list(seeds), taps=self._taps())
+        mask = (1 << lanes.n_lanes) - 1
+        rows: list[list[int]] = []
+        for _ in range(length):
+            lanes.step()
+            rows.append(self._words_from_bit_words(lanes.stage_words, mask))
+        return rows

@@ -63,11 +63,10 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     from repro.core.builtin_gen import BuiltinGenConfig, BuiltinGenerator
     from repro.core.embedded import compose, compose_with_buffers, estimate_swa_func
     from repro.core.state_holding import run_with_state_holding
-    from repro.faults.collapse import collapse_transition
-    from repro.faults.lists import all_transition_faults
+    from repro.faults.collapse import collapsed_transition_faults
 
     target = get_circuit(args.circuit)
-    faults = collapse_transition(target, all_transition_faults(target))
+    faults = collapsed_transition_faults(target)
     config = BuiltinGenConfig(
         segment_length=args.length, time_limit=args.time_limit, rng_seed=args.seed
     )
@@ -181,6 +180,7 @@ def _cmd_table(args: argparse.Namespace) -> int:
             targets=("s298",),
             drivers=("s344", "s953"),
             config=BuiltinGenConfig(segment_length=120, time_limit=10),
+            jobs=args.jobs,
         )
         print(render_table_4_3(cases))
     else:
@@ -229,6 +229,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("table", help="regenerate a paper table")
     p.add_argument("table", help="e.g. 2.1, 3.1, 4.2, 4.3")
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for per-circuit experiment rows "
+        "(results are identical for any value)",
+    )
     p.set_defaults(func=_cmd_table)
     return parser
 

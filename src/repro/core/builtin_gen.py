@@ -34,6 +34,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Sequence
 
+import numpy as np
+
 from repro.bist.area import AreaReport, estimate_area
 from repro.bist.counters import ControllerCounters
 from repro.bist.tpg import DevelopedTpg
@@ -42,8 +44,23 @@ from repro.circuits.scan import ScanChains
 from repro.core.compiled import compile_circuit
 from repro.faults.fsim import FaultGrader, compact_groups
 from repro.faults.models import TransitionFault
+from repro.logic.bitsim import (
+    pack_bits,
+    simulate_packed_words,
+    unpack_lane_bits,
+)
 from repro.logic.patterns import BroadsideTest
-from repro.logic.simulator import extract_tests_from_sequence, simulate_sequence
+from repro.logic.simulator import (
+    SequenceResult,
+    extract_tests_from_sequence,
+    simulate_sequence,
+)
+
+#: Surviving candidate lanes are graded in blocks of this many through one
+#: PPSFP pass (:meth:`repro.faults.fsim.FaultGrader.preview_groups`): big
+#: enough to amortize the per-fault fixed work across lanes, small enough
+#: that an early acceptance wastes at most a few lanes' grading.
+GRADE_BLOCK_LANES = 8
 
 
 @dataclass(frozen=True)
@@ -74,7 +91,16 @@ class MultiSegmentSequence:
 
 @dataclass
 class BuiltinGenConfig:
-    """Tunable parameters of the construction procedure."""
+    """Tunable parameters of the construction procedure.
+
+    ``batched``/``batch_lanes`` control the packed seed-trial engine: per
+    decision point, up to ``min(batch_lanes, 64, R - current failures)``
+    candidate seeds are drawn, expanded, and simulated as bit lanes of one
+    packed run.  The accepted segments are bit-identical to the scalar
+    one-seed-at-a-time loop for the same ``rng_seed`` (the random stream
+    is rewound past speculatively drawn seeds), so batching is purely a
+    throughput knob.
+    """
 
     segment_length: int = 300  # the paper's L
     r_limit: int = 3  # R: consecutive seed failures closing a sequence
@@ -84,6 +110,18 @@ class BuiltinGenConfig:
     rng_seed: int = 1
     max_sequences: int = 200  # safety cap
     time_limit: float | None = None  # optional wall-clock cap (seconds)
+    batched: bool = True  # evaluate candidate seeds in packed lanes
+    batch_lanes: int = 64  # max lanes per packed run (clamped to 64)
+
+
+@dataclass
+class GenStats:
+    """Instrumentation of one construction run (benchmark bookkeeping)."""
+
+    seeds_evaluated: int = 0  # candidate seeds consumed by Fig 4.9 decisions
+    seeds_accepted: int = 0  # seeds that became segments
+    packed_batches: int = 0  # multi-lane packed simulations run
+    scalar_trials: int = 0  # candidates evaluated through the scalar path
 
 
 @dataclass
@@ -158,6 +196,7 @@ class BuiltinGenerator:
         self.grader = FaultGrader(circuit, faults)
         self.rng = random.Random(self.config.rng_seed)
         self.chains = ScanChains.partition(circuit)
+        self.stats = GenStats()
 
     # ------------------------------------------------------------------
     def run(self, hold_set: Sequence[str] | None = None) -> BuiltinGenResult:
@@ -257,26 +296,28 @@ class BuiltinGenerator:
         state = self.initial_state
         peak = 0.0
         r_failures = 0
+        # The pattern-of-signal-transitions bound needs full per-cycle line
+        # valuations, which the packed path does not retain.
+        use_batch = cfg.batched and cfg.batch_lanes > 1 and self.pattern_bank is None
         while r_failures < cfg.r_limit:
             if deadline and time.monotonic() > deadline:
                 break
-            seed = self.rng.getrandbits(self.tpg.n_lfsr) or 1
-            pi_vectors = self.tpg.sequence(seed, cfg.segment_length)
-            result = self._simulate(state, pi_vectors, hold_set)
-            length = self._truncate_length(result)
-            if length < cfg.spacing:
-                r_failures += 1
-                continue
-            seg_tests = extract_tests_from_sequence(
-                self.circuit, result, pi_vectors[:length], spacing=cfg.spacing
+            width = (
+                min(64, cfg.batch_lanes, cfg.r_limit - r_failures)
+                if use_batch
+                else 1
             )
-            newly = self.grader.preview(seg_tests)
-            if not newly:
-                r_failures += 1
+            if width > 1:
+                failures, accepted = self._trial_batch(state, width, hold_set)
+            else:
+                failures, accepted = self._trial_single(state, hold_set)
+            if accepted is None:
+                r_failures += failures
                 continue
+            seed, length, seg_tests, newly, seg_peak, end_state = accepted
             self.grader.commit(newly)
             r_failures = 0
-            seg_peak = max(result.switching[1:length], default=0.0)
+            self.stats.seeds_accepted += 1
             multi.segments.append(
                 SegmentRecord(
                     seed=seed,
@@ -289,8 +330,172 @@ class BuiltinGenerator:
             tests.extend(seg_tests)
             detected |= newly
             peak = max(peak, seg_peak)
-            state = result.states[length]
+            state = end_state
         return multi, tests, detected, peak
+
+    # -- candidate evaluation: one seed, scalar trajectory ---------------
+    def _trial_single(self, state: Sequence[int], hold_set: Sequence[str] | None):
+        """Draw and evaluate one seed the Fig 4.9 way.
+
+        Returns ``(failures, acceptance)``: ``(1, None)`` for a failing
+        seed, ``(0, (...))`` with the acceptance payload otherwise.
+        """
+        cfg = self.config
+        seed = self.rng.getrandbits(self.tpg.n_lfsr) or 1
+        self.stats.seeds_evaluated += 1
+        self.stats.scalar_trials += 1
+        pi_vectors = self.tpg.sequence(seed, cfg.segment_length)
+        result = self._simulate(state, pi_vectors, hold_set)
+        length = self._truncate_length(result)
+        if length < cfg.spacing:
+            return 1, None
+        seg_tests = extract_tests_from_sequence(
+            self.circuit, result, pi_vectors[:length], spacing=cfg.spacing
+        )
+        newly = self.grader.preview(seg_tests)
+        if not newly:
+            return 1, None
+        seg_peak = max(result.switching[1:length], default=0.0)
+        return 0, (seed, length, seg_tests, newly, seg_peak, result.states[length])
+
+    # -- candidate evaluation: up to 64 seeds, packed lanes --------------
+    def _trial_batch(
+        self, state: Sequence[int], width: int, hold_set: Sequence[str] | None
+    ):
+        """Evaluate ``width`` candidate seeds as lanes of one packed run.
+
+        Replays the scalar decision sequence exactly: lanes are scanned in
+        draw order, each failing lane counts one R-failure, and scanning
+        stops at the first lane whose tests newly detect faults.  Seeds
+        beyond the stopping point were drawn speculatively, so the random
+        stream is rewound and re-advanced by only the consumed draws --
+        the next decision point sees the same stream the scalar loop
+        would.  Returns ``(failures_before_acceptance, acceptance|None)``.
+        """
+        cfg = self.config
+        n_bits = self.tpg.n_lfsr
+        saved = self.rng.getstate()
+        seeds = [self.rng.getrandbits(n_bits) or 1 for _ in range(width)]
+        pi_rows = self._lane_pi_words(seeds, cfg.segment_length)
+        hold_idx = None
+        if hold_set:
+            from repro.core.state_holding import hold_indices
+
+            if self.pattern_bank is not None:
+                raise ValueError(
+                    "pattern-bound generation cannot be combined with state "
+                    "holding: held transitions leave the functional pattern space"
+                )
+            hold_idx = hold_indices(self.circuit, hold_set)
+        packed = simulate_packed_words(
+            self.circuit,
+            state,
+            pi_rows,
+            width,
+            hold_indices=hold_idx,
+            hold_period_log2=cfg.hold_period_log2,
+            compiled=self.compiled,
+        )
+        self.stats.packed_batches += 1
+        pcts = packed.switching_percent(self.compiled.num_lines)
+        lengths = self._lane_lengths(pcts)
+        survivors = [lane for lane in range(width) if lengths[lane] >= cfg.spacing]
+        # One bit-transpose of the whole trajectory serves every lane's
+        # test extraction: axis 2 is the lane, so a lane's states/PIs are
+        # a contiguous slice instead of per-word Python bit picking.
+        state_bits = unpack_lane_bits(packed.state_words, width)
+        pi_bits = unpack_lane_bits(pi_rows, width)
+        lane_tests: dict[int, list[BroadsideTest]] = {}
+        lane_newly: dict[int, set[TransitionFault]] = {}
+        failures = 0
+        accepted = None
+        scanned = 0
+        for lane in range(width):
+            scanned += 1
+            length = lengths[lane]
+            if length < cfg.spacing:
+                failures += 1
+                continue
+            if lane not in lane_newly:
+                block = [k for k in survivors if k >= lane][:GRADE_BLOCK_LANES]
+                for k in block:
+                    lane_tests[k] = self._lane_tests(
+                        state_bits, pi_bits, k, lengths[k]
+                    )
+                for k, newly in zip(
+                    block, self.grader.preview_groups([lane_tests[k] for k in block])
+                ):
+                    lane_newly[k] = newly
+            newly = lane_newly[lane]
+            if not newly:
+                failures += 1
+                continue
+            seg_vals = pcts[1:length, lane]
+            seg_peak = float(seg_vals.max()) if seg_vals.size else 0.0
+            end_state = tuple((w >> lane) & 1 for w in packed.state_words[length])
+            accepted = (seeds[lane], length, lane_tests[lane], newly, seg_peak, end_state)
+            break
+        self.stats.seeds_evaluated += scanned
+        if scanned < width:
+            # Rewind past the speculative draws: only the scanned seeds
+            # were consumed by the Fig 4.9 decision sequence.
+            self.rng.setstate(saved)
+            for _ in range(scanned):
+                self.rng.getrandbits(n_bits)
+        return failures, accepted
+
+    def _lane_pi_words(self, seeds: Sequence[int], length: int) -> list[list[int]]:
+        """Lane-packed TPG expansion of every candidate seed.
+
+        Uses the TPG's vectorized multi-lane stepping when available
+        (:meth:`repro.bist.tpg.DevelopedTpg.sequence_batch`); any other
+        TPG implementation falls back to per-seed scalar expansion packed
+        columnwise.
+        """
+        batch = getattr(self.tpg, "sequence_batch", None)
+        if batch is not None:
+            return batch(seeds, length)
+        sequences = [self.tpg.sequence(seed, length) for seed in seeds]
+        return [
+            [pack_bits([seq[i][j] for seq in sequences]) for j in range(len(sequences[0][i]))]
+            for i in range(length)
+        ]
+
+    def _lane_lengths(self, pcts: np.ndarray) -> list[int]:
+        """Per-lane truncated segment lengths (:meth:`_truncate_length`,
+        applied lane-wise to the packed switching matrix)."""
+        length, lanes = pcts.shape
+        if self.swa_func is None:
+            return [length - (length % 2)] * lanes
+        viol = pcts > (self.swa_func + 1e-9)
+        if length:
+            viol[0, :] = False  # cycle 0's SWA is undefined
+        out: list[int] = []
+        for lane in range(lanes):
+            column = viol[:, lane]
+            first = int(np.argmax(column))
+            if column[first]:
+                j = first - 1
+                cut = j if j % 2 == 0 else j - 1
+            else:
+                cut = length
+            out.append(max(0, cut - (cut % 2)))
+        return out
+
+    def _lane_tests(
+        self,
+        state_bits: np.ndarray,
+        pi_bits: np.ndarray,
+        lane: int,
+        length: int,
+    ) -> list[BroadsideTest]:
+        """Extract one lane's broadside tests from the transposed bits."""
+        states = [tuple(row) for row in state_bits[: length + 1, :, lane].tolist()]
+        pis = pi_bits[:length, :, lane].tolist()
+        trajectory = SequenceResult(states=states, line_values=[], switching=[])
+        return extract_tests_from_sequence(
+            self.circuit, trajectory, pis, spacing=self.config.spacing
+        )
 
     def _truncate_length(self, result) -> int:
         """Largest even prefix whose every cycle respects the active bound.

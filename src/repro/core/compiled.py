@@ -123,6 +123,7 @@ class CompiledCircuit:
         "_fanout_positions",
         "_observed",
         "_cone_cache",
+        "_word_kernel",
     )
 
     def __init__(self, circuit: Circuit, version: int):
@@ -187,6 +188,7 @@ class CompiledCircuit:
         self._cone_cache: dict[
             int, tuple[list[tuple[int, int, int, tuple[int, ...]]], tuple[int, ...]]
         ] = {}
+        self._word_kernel = None  # built lazily on first eval_words call
 
     # ------------------------------------------------------------------
     # Frames and views
@@ -275,24 +277,40 @@ class CompiledCircuit:
 
         Each bit position of a word is an independent 0/1 pattern; ``mask``
         holds a 1 in every live bit position (two-valued logic only).
+
+        Dispatches to a straight-line kernel generated from the schedule
+        (one expression statement per gate, no interpreter loop or family
+        branching), built once per compiled instance.  The packed
+        multi-lane simulator spends essentially all its time here, so the
+        codegen is what the batched seed-trial throughput rides on.
         """
+        kernel = self._word_kernel
+        if kernel is None:
+            kernel = self._word_kernel = self._build_word_kernel()
+        return kernel(values, mask)
+
+    def _build_word_kernel(self):
+        """Generate the unrolled word-evaluation function.
+
+        Emits ``v[out] = (v[a] OP v[b] ...) ^ mask`` per scheduled gate --
+        semantically the loop body of the old interpreted ``eval_words``,
+        flattened so each gate costs a handful of bytecodes.
+        """
+        ops = {_FAM_AND: " & ", _FAM_OR: " | ", _FAM_XOR: " ^ "}
+        body: list[str] = []
         for out, family, inv, fis in self._schedule:
-            if family == _FAM_AND:
-                w = mask
-                for f in fis:
-                    w &= values[f]
-            elif family == _FAM_OR:
-                w = 0
-                for f in fis:
-                    w |= values[f]
-            elif family == _FAM_XOR:
-                w = 0
-                for f in fis:
-                    w ^= values[f]
+            op = ops.get(family)
+            if op is None:
+                expr = f"v[{fis[0]}]"
             else:
-                w = values[fis[0]]
-            values[out] = w ^ mask if inv else w
-        return values
+                expr = op.join(f"v[{f}]" for f in fis)
+            if inv:
+                expr = f"({expr}) ^ mask" if op else f"{expr} ^ mask"
+            body.append(f"    v[{out}] = {expr}")
+        src = "def kernel(v, mask):\n" + "\n".join(body or ["    pass"]) + "\n    return v\n"
+        namespace: dict[str, object] = {}
+        exec(compile(src, f"<word-kernel:{self.circuit.name}>", "exec"), namespace)
+        return namespace["kernel"]
 
     # ------------------------------------------------------------------
     # Fanout cones (single-fault injection)

@@ -32,6 +32,17 @@ from repro.faults.models import TransitionFault
 from repro.logic.simulator import SequenceResult
 
 
+def hold_indices(circuit: Circuit, hold_set: Sequence[str]) -> list[int]:
+    """State-vector positions of the held state variables.
+
+    The index form both holding simulators consume: the scalar
+    :func:`simulate_with_holding` and the packed lane-wise analogue
+    (:func:`repro.logic.bitsim.simulate_packed_words`).
+    """
+    hold_names = set(hold_set)
+    return [k for k, q in enumerate(circuit.state_lines) if q in hold_names]
+
+
 def simulate_with_holding(
     circuit: Circuit,
     initial_state: Sequence[int],
@@ -55,8 +66,7 @@ def simulate_with_holding(
         raise ValueError("h must be >= 1 so capture transitions are never held")
     period = 1 << hold_period_log2
     cc = compiled if compiled is not None else compile_circuit(circuit)
-    hold_names = set(hold_set)
-    held = [k for k, q in enumerate(circuit.state_lines) if q in hold_names]
+    held = hold_indices(circuit, hold_set)
     n_inputs = cc.n_inputs
     n_sources = cc.n_sources
     ns_indices = cc.next_state_indices
@@ -129,6 +139,9 @@ def _detecting_ability(
         hold_period_log2=config.hold_period_log2,
         rng_seed=config.rng_seed,
         max_sequences=config.max_sequences,
+        time_limit=config.time_limit,
+        batched=config.batched,
+        batch_lanes=config.batch_lanes,
     )
     generator = BuiltinGenerator(
         circuit, remaining_faults, swa_func, config=probe_cfg

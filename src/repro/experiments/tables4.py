@@ -28,8 +28,8 @@ from repro.core.builtin_gen import BuiltinGenConfig, BuiltinGenerator, BuiltinGe
 from repro.core.embedded import compose, estimate_swa_func
 from repro.core.state_holding import HoldingRunResult, run_with_state_holding
 from repro.experiments.format import render
-from repro.faults.collapse import collapse_transition
-from repro.faults.lists import all_transition_faults
+from repro.experiments.runner import ExperimentTask, run_tasks
+from repro.faults.collapse import collapsed_transition_faults
 from repro.logic.simulator import simulate_sequence
 
 #: Default embedded-block suite (scaled stand-ins for Table 4.2's list).
@@ -38,8 +38,8 @@ CHAPTER4_DRIVERS = ("s344", "s641", "s953", "s820")
 
 
 def collapsed_faults(circuit: Circuit):
-    """The graded fault list: collapsed transition faults."""
-    return collapse_transition(circuit, all_transition_faults(circuit))
+    """The graded fault list: collapsed transition faults (version-cached)."""
+    return collapsed_transition_faults(circuit)
 
 
 # ---------------------------------------------------------------------------
@@ -180,42 +180,76 @@ def swa_func_of(
     ).swa_func
 
 
+def _table_4_3_target(
+    target_name: str,
+    drivers: Sequence[str],
+    config: BuiltinGenConfig,
+    n_sequences: int,
+    func_length: int,
+) -> list[Table43Case]:
+    """All Table 4.3 rows of one target circuit (one process-pool task).
+
+    Module-level so a :class:`repro.experiments.runner.ExperimentTask` can
+    pickle it; takes the circuit *name* and loads/compiles its own copy.
+    """
+    target = get_circuit(target_name)
+    faults = collapsed_faults(target)
+    lsc = ScanChains.partition(target).max_length
+    candidates = eligible_drivers(target, drivers)
+    scored = sorted(
+        ((swa_func_of(target, d, n_sequences, func_length), d) for d in candidates),
+    )
+    chosen: list[tuple[str, float | None]] = [("buffers", None)]
+    if scored:
+        chosen.append((scored[-1][1], scored[-1][0]))  # highest SWA_func
+    if len(scored) > 1:
+        chosen.append((scored[0][1], scored[0][0]))  # lowest SWA_func
+    cases: list[Table43Case] = []
+    for driver_name, bound in chosen:
+        generator = BuiltinGenerator(target, faults, bound, config=config)
+        result = generator.run()
+        cases.append(
+            Table43Case(
+                target=target_name,
+                driver=driver_name,
+                swa_func=bound,
+                result=result,
+                lsc=lsc,
+            )
+        )
+    return cases
+
+
 def run_table_4_3(
     targets: Sequence[str] = CHAPTER4_TARGETS,
     drivers: Sequence[str] = CHAPTER4_DRIVERS,
     config: BuiltinGenConfig | None = None,
     n_sequences: int = 16,
     func_length: int = 120,
+    jobs: int | None = None,
 ) -> list[Table43Case]:
-    """Run Table 4.3: per target, ``buffers`` + highest/lowest-SWA drivers."""
+    """Run Table 4.3: per target, ``buffers`` + highest/lowest-SWA drivers.
+
+    ``jobs > 1`` fans the per-target work across a process pool; every
+    target builds its own generator and RNG stream, so the returned cases
+    are identical for any ``jobs`` value (same order, same contents).
+    """
     config = config or BuiltinGenConfig(segment_length=150, time_limit=20)
-    cases: list[Table43Case] = []
-    for target_name in targets:
-        target = get_circuit(target_name)
-        faults = collapsed_faults(target)
-        lsc = ScanChains.partition(target).max_length
-        candidates = eligible_drivers(target, drivers)
-        scored = sorted(
-            ((swa_func_of(target, d, n_sequences, func_length), d) for d in candidates),
+    tasks = [
+        ExperimentTask(
+            key=f"table4.3/{target_name}",
+            fn=_table_4_3_target,
+            kwargs={
+                "target_name": target_name,
+                "drivers": tuple(drivers),
+                "config": config,
+                "n_sequences": n_sequences,
+                "func_length": func_length,
+            },
         )
-        chosen: list[tuple[str, float | None]] = [("buffers", None)]
-        if scored:
-            chosen.append((scored[-1][1], scored[-1][0]))  # highest SWA_func
-        if len(scored) > 1:
-            chosen.append((scored[0][1], scored[0][0]))  # lowest SWA_func
-        for driver_name, bound in chosen:
-            generator = BuiltinGenerator(target, faults, bound, config=config)
-            result = generator.run()
-            cases.append(
-                Table43Case(
-                    target=target_name,
-                    driver=driver_name,
-                    swa_func=bound,
-                    result=result,
-                    lsc=lsc,
-                )
-            )
-    return cases
+        for target_name in targets
+    ]
+    return [case for group in run_tasks(tasks, jobs=jobs) for case in group]
 
 
 def render_table_4_3(cases: Sequence[Table43Case]) -> str:
@@ -271,26 +305,43 @@ class Table44Case:
         }
 
 
+def _table_4_4_case(
+    case: Table43Case, tree_height: int, config: BuiltinGenConfig
+) -> Table44Case:
+    """The Table 4.4 holding pass for one base case (one pool task)."""
+    target = get_circuit(case.target)
+    faults = collapsed_faults(target)
+    fr = [f for f in faults if f not in case.result.detected]
+    holding = run_with_state_holding(
+        target, fr, case.swa_func, tree_height=tree_height, config=config
+    )
+    return Table44Case(base=case, holding=holding, total_faults=len(faults))
+
+
 def run_table_4_4(
     cases: Sequence[Table43Case],
     fc_threshold: float = 90.0,
     tree_height: int = 2,
     config: BuiltinGenConfig | None = None,
+    jobs: int | None = None,
 ) -> list[Table44Case]:
-    """Run state holding for every Table 4.3 case below the FC threshold."""
+    """Run state holding for every Table 4.3 case below the FC threshold.
+
+    Like :func:`run_table_4_3`, ``jobs`` only changes the wall clock:
+    each eligible case is an independent task and results come back in
+    case order.
+    """
     config = config or BuiltinGenConfig(segment_length=150, time_limit=15)
-    out: list[Table44Case] = []
-    for case in cases:
-        if case.result.coverage >= fc_threshold:
-            continue
-        target = get_circuit(case.target)
-        faults = collapsed_faults(target)
-        fr = [f for f in faults if f not in case.result.detected]
-        holding = run_with_state_holding(
-            target, fr, case.swa_func, tree_height=tree_height, config=config
+    tasks = [
+        ExperimentTask(
+            key=f"table4.4/{case.target}/{case.driver}",
+            fn=_table_4_4_case,
+            kwargs={"case": case, "tree_height": tree_height, "config": config},
         )
-        out.append(Table44Case(base=case, holding=holding, total_faults=len(faults)))
-    return out
+        for case in cases
+        if case.result.coverage < fc_threshold
+    ]
+    return run_tasks(tasks, jobs=jobs)
 
 
 def render_table_4_4(cases: Sequence[Table44Case]) -> str:

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from repro.circuits.gates import GateType, controlling_value, is_inverting
 from repro.circuits.netlist import Circuit
+from repro.faults.lists import all_transition_faults
 from repro.faults.models import FALL, RISE, StuckAtFault, TransitionFault
 
 
@@ -93,7 +94,16 @@ def transition_equivalence_classes(
     condition, and e.g. "AND input slow-to-fall" requires the *input* at 1
     under the first pattern while "AND output slow-to-fall" only requires
     the output at 1 -- their detecting test sets differ.
+
+    Memoized per netlist version like :func:`repro.core.compiled.
+    compile_circuit`: experiment harnesses re-derive the fault list for
+    every probing run of the same circuit, and the classes only change
+    when the structure does.
     """
+    cached = getattr(circuit, "_transition_classes", None)
+    version = circuit.version
+    if cached is not None and cached[0] == version:
+        return cached[1]
     uf = _UnionFind()
     fanout = circuit.fanout
     fanout_counts = {
@@ -111,7 +121,11 @@ def transition_equivalence_classes(
         inv = gate.gate_type == GateType.NOT
         for v in (0, 1):
             uf.union((src, v), (gate.name, (1 - v) if inv else v))
-    return {key: uf.find(key) for key in [(l, v) for l in circuit.lines for v in (0, 1)]}
+    classes = {
+        key: uf.find(key) for key in [(l, v) for l in circuit.lines for v in (0, 1)]
+    }
+    circuit._transition_classes = (version, classes)
+    return classes
 
 
 def collapse_transition(
@@ -135,3 +149,21 @@ def collapse_transition(
                 TransitionFault(line=rep[0], direction=RISE if rep[1] == 0 else FALL)
             )
     return out
+
+
+def collapsed_transition_faults(circuit: Circuit) -> list[TransitionFault]:
+    """The collapsed list over *all* transition faults, memoized.
+
+    Every experiment row, probing run, and holding pass grades against
+    this same list; caching it per :attr:`Circuit.version` (the same
+    mutation counter :func:`repro.core.compiled.compile_circuit` keys on)
+    makes the re-derivation free.  Returns a fresh list each call so
+    callers may filter or reorder without corrupting the cache.
+    """
+    cached = getattr(circuit, "_collapsed_transition", None)
+    version = circuit.version
+    if cached is not None and cached[0] == version:
+        return list(cached[1])
+    faults = collapse_transition(circuit, all_transition_faults(circuit))
+    circuit._collapsed_transition = (version, tuple(faults))
+    return list(faults)

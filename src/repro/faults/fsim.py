@@ -159,6 +159,41 @@ class FaultGrader:
             return set()
         return self.simulator.detected_faults(tests, self.remaining)
 
+    def preview_groups(
+        self, test_groups: Sequence[Sequence[BroadsideTest]]
+    ) -> list[set[TransitionFault]]:
+        """Per-group :meth:`preview` sets, graded in one PPSFP pass.
+
+        The batched Fig 4.9 loop asks the same question for every
+        surviving candidate lane of a seed batch: "would this lane's tests
+        newly detect anything?".  Grading the lanes separately repeats the
+        per-fault fixed work (activation words, cone lookups) once per
+        lane; here all groups' tests share one packed frame set, the
+        per-fault detection word is computed once over the concatenation,
+        and the word is split back on the group boundaries.  Each returned
+        set equals ``preview(test_groups[k])`` exactly -- grading is
+        against the current ``remaining`` frontier with no dropping
+        between groups.
+        """
+        groups = [list(g) for g in test_groups]
+        if not self.remaining or not any(groups):
+            return [set() for _ in groups]
+        flat = [t for g in groups for t in g]
+        words = self.simulator.detection_words(flat, self.remaining)
+        out: list[set[TransitionFault]] = [set() for _ in groups]
+        bounds = []
+        offset = 0
+        for g in groups:
+            bounds.append((offset, ((1 << len(g)) - 1) << offset if g else 0))
+            offset += len(g)
+        for fault, word in words.items():
+            if not word:
+                continue
+            for k, (_, group_mask) in enumerate(bounds):
+                if word & group_mask:
+                    out[k].add(fault)
+        return out
+
     def commit(self, newly_detected: Iterable[TransitionFault]) -> None:
         """Drop faults previously returned by :meth:`preview`."""
         newly = set(newly_detected)

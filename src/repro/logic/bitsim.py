@@ -13,6 +13,12 @@ position ``t`` of every line's word carries pattern/lane ``t``:
   Per-cycle, per-lane switching activity is extracted with a vectorised
   numpy popcount, which is what makes Chapter 4's SWA estimation over many
   LFSR seeds tractable in pure Python.
+* :func:`simulate_packed_words` -- the same multi-lane kernel fed with
+  *pre-packed* per-input words (one word per input per cycle, bit ``t`` =
+  lane ``t``), every lane starting from one shared state, with optional
+  lane-wise state holding.  This is the simulation core of the batched
+  Fig 4.9 seed-trial loop (:mod:`repro.core.builtin_gen`), consuming
+  :meth:`repro.bist.tpg.DevelopedTpg.sequence_batch` output directly.
 
 Both paths evaluate through the compiled circuit IR
 (:mod:`repro.core.compiled`): one integer-indexed schedule shared with the
@@ -24,7 +30,7 @@ property-check agreement.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
 import numpy as np
@@ -69,13 +75,24 @@ def pack_columns_indexed(
 
     ``vectors[t][j]`` lands in bit ``t`` of ``values[offset + j]`` -- the
     index-space analogue of :func:`pack_vectors`, writing straight into a
-    compiled-circuit frame.
+    compiled-circuit frame.  The transpose runs through one vectorised
+    :func:`numpy.packbits` (a byte string per column, decoded with
+    ``int.from_bytes``) rather than a Python loop over the full
+    ``patterns x lines`` grid -- frame packing is the fixed cost of every
+    PPSFP grading chunk.
     """
-    for t, vec in enumerate(vectors):
-        bit = 1 << t
-        for j, v in enumerate(vec):
-            if v:
-                values[offset + j] |= bit
+    if not vectors:
+        return
+    arr = np.asarray(vectors, dtype=np.uint8)
+    if arr.size == 0:
+        return
+    packed = np.packbits(arr, axis=0, bitorder="little")
+    n_bytes = packed.shape[0]
+    data = packed.T.tobytes()
+    for j in range(arr.shape[1]):
+        word = int.from_bytes(data[j * n_bytes : (j + 1) * n_bytes], "little")
+        if word:
+            values[offset + j] |= word
 
 
 class PatternSimulator:
@@ -153,7 +170,7 @@ class PatternSimulator:
 
 @dataclass(frozen=True)
 class PackedSequenceResult:
-    """Result of :func:`simulate_sequences_packed`.
+    """Result of a packed multi-lane sequence simulation.
 
     Attributes
     ----------
@@ -167,16 +184,111 @@ class PackedSequenceResult:
         Number of packed sequences.
     final_line_values:
         Line valuation words of the last simulated cycle.
+    state_words:
+        The raw per-cycle state rows (``L+1`` rows of per-state-line
+        packed words, scan order) that :attr:`states` wraps -- the form
+        the batched generation loop slices lanes out of.
     """
 
     states: list[dict[str, int]]
     switching_counts: np.ndarray
     n_lanes: int
     final_line_values: dict[str, int]
+    state_words: list[list[int]] = field(default_factory=list)
 
     def switching_percent(self, n_lines: int) -> np.ndarray:
         """Switching counts converted to the paper's percentage metric."""
         return 100.0 * self.switching_counts / float(n_lines)
+
+    def lane_states(self, lane: int, upto: int) -> list[tuple[int, ...]]:
+        """Lane ``lane``'s state vectors for cycles ``0 .. upto``."""
+        return [
+            tuple((w >> lane) & 1 for w in row)
+            for row in self.state_words[: upto + 1]
+        ]
+
+
+def broadcast_state_words(state: Sequence[int], mask: int) -> list[int]:
+    """Packed state words with every lane holding the same state vector."""
+    return [mask if b else 0 for b in state]
+
+
+def unpack_lane_bits(rows: Sequence[Sequence[int]], n_lanes: int) -> np.ndarray:
+    """Bit-transpose packed word rows into a ``(rows, words, lanes)`` array.
+
+    ``out[i, j, t]`` is bit ``t`` of ``rows[i][j]`` -- lane ``t``'s value
+    of word ``j`` at row ``i``, as a uint8 0/1.  One vectorised
+    :func:`numpy.unpackbits` replaces per-lane Python bit picking, which
+    is what makes slicing individual lanes out of a 64-lane trajectory
+    (per-lane test extraction in the batched Fig 4.9 loop) cheap.
+    """
+    n_rows = len(rows)
+    n_words = len(rows[0]) if n_rows else 0
+    if n_rows == 0 or n_words == 0:
+        return np.zeros((n_rows, n_words, n_lanes), dtype=np.uint8)
+    arr = np.array(rows, dtype=np.uint64)
+    as_bytes = arr.view(np.uint8).reshape(n_rows, n_words, 8)
+    bits = np.unpackbits(as_bytes, axis=-1, bitorder="little")
+    return bits[:, :, :n_lanes]
+
+
+def _run_packed(
+    cc,
+    state_words: list[int],
+    pi_word_rows: Sequence[Sequence[int]],
+    n_lanes: int,
+    count_idx: Sequence[int] | None,
+    hold_indices: Sequence[int] | None,
+    hold_period: int,
+) -> PackedSequenceResult:
+    """Shared packed-lane trajectory kernel.
+
+    ``pi_word_rows[i][j]`` is the packed word of primary input ``j`` at
+    cycle ``i`` (bit ``t`` = lane ``t``).  With ``hold_indices``, the named
+    state-variable positions skip capture at every cycle ``i`` with
+    ``i % hold_period == 0`` -- the packed analogue of
+    :func:`repro.core.state_holding.simulate_with_holding`.
+    """
+    mask = (1 << n_lanes) - 1
+    n_inputs = cc.n_inputs
+    n_sources = cc.n_sources
+    state_lines = cc.circuit.state_lines
+    ns_indices = cc.next_state_indices
+    n_lines = cc.num_lines if count_idx is None else len(count_idx)
+    length = len(pi_word_rows)
+
+    word_rows = [list(state_words)]
+    states = [dict(zip(state_lines, state_words))]
+    switching = np.zeros((length, n_lanes), dtype=np.int64)
+    prev_arr: np.ndarray | None = None
+    values: list[int] = cc.zero_frame()
+    for cycle in range(length):
+        values = cc.zero_frame()
+        values[0:n_inputs] = pi_word_rows[cycle]
+        values[n_inputs:n_sources] = state_words
+        cc.eval_words(values, mask)
+        counted = values if count_idx is None else [values[i] for i in count_idx]
+        cur_arr = np.fromiter(counted, dtype=np.uint64, count=n_lines)
+        if prev_arr is not None:
+            diff = prev_arr ^ cur_arr
+            bits = np.unpackbits(diff.view(np.uint8), bitorder="little")
+            counts = bits.reshape(n_lines, 64).sum(axis=0)
+            switching[cycle] = counts[:n_lanes]
+        prev_arr = cur_arr
+        nxt = [values[i] for i in ns_indices]
+        if hold_indices and cycle % hold_period == 0:
+            for k in hold_indices:
+                nxt[k] = state_words[k]
+        state_words = nxt
+        word_rows.append(state_words)
+        states.append(dict(zip(state_lines, state_words)))
+    return PackedSequenceResult(
+        states=states,
+        switching_counts=switching,
+        n_lanes=n_lanes,
+        final_line_values=cc.as_dict(values),
+        state_words=word_rows,
+    )
 
 
 def simulate_sequences_packed(
@@ -208,47 +320,62 @@ def simulate_sequences_packed(
         raise ValueError("all lanes must have equal sequence length")
 
     cc = compile_circuit(circuit)
-    mask = (1 << n_lanes) - 1
     n_inputs = cc.n_inputs
-    n_sources = cc.n_sources
-    state_lines = circuit.state_lines
-    ns_indices = cc.next_state_indices
     # Line order of ``cc.names`` equals ``circuit.lines``, so counting all
     # lines reads the valuation array directly; a subset goes through a
     # precomputed index list.
     count_idx = (
         None if count_lines is None else [cc.index[line] for line in count_lines]
     )
-    n_lines = cc.num_lines if count_idx is None else len(count_idx)
-
     state_words = [0] * cc.n_state
     pack_columns_indexed(state_words, initial_states, 0)
-    states = [dict(zip(state_lines, state_words))]
-    switching = np.zeros((length, n_lanes), dtype=np.int64)
-    prev_arr: np.ndarray | None = None
-    values: list[int] = cc.zero_frame()
+    pi_word_rows: list[list[int]] = []
     for cycle in range(length):
-        values = cc.zero_frame()
-        pack_columns_indexed(
-            values, [pi_sequences[k][cycle] for k in range(n_lanes)], 0
+        row = [0] * n_inputs
+        pack_columns_indexed(row, [pi_sequences[k][cycle] for k in range(n_lanes)], 0)
+        pi_word_rows.append(row)
+    return _run_packed(cc, state_words, pi_word_rows, n_lanes, count_idx, None, 1)
+
+
+def simulate_packed_words(
+    circuit: Circuit,
+    initial_state: Sequence[int],
+    pi_word_rows: Sequence[Sequence[int]],
+    n_lanes: int,
+    count_lines: Sequence[str] | None = None,
+    hold_indices: Sequence[int] | None = None,
+    hold_period_log2: int = 2,
+    compiled=None,
+) -> PackedSequenceResult:
+    """Simulate up to 64 lanes that share one initial state, from packed words.
+
+    The form the batched Fig 4.9 seed-trial loop uses: every lane starts
+    at the *same* current state, ``pi_word_rows`` comes pre-packed from
+    :meth:`repro.bist.tpg.DevelopedTpg.sequence_batch` (bit ``t`` of
+    ``pi_word_rows[i][j]`` is input ``j`` at cycle ``i`` in lane ``t``),
+    and an optional hold set replays the state-holding DFT of Section 4.5
+    lane-wise (identical cycle alignment in every lane).
+    """
+    if not 0 < n_lanes <= 64:
+        raise ValueError("between 1 and 64 packed lanes required")
+    cc = compiled if compiled is not None else compile_circuit(circuit)
+    if len(initial_state) != cc.n_state:
+        raise ValueError(
+            f"initial state has {len(initial_state)} bits, "
+            f"circuit has {cc.n_state} flops"
         )
-        values[n_inputs:n_sources] = state_words
-        cc.eval_words(values, mask)
-        counted = values if count_idx is None else [values[i] for i in count_idx]
-        cur_arr = np.fromiter(counted, dtype=np.uint64, count=n_lines)
-        if prev_arr is not None:
-            diff = prev_arr ^ cur_arr
-            bits = np.unpackbits(diff.view(np.uint8), bitorder="little")
-            counts = bits.reshape(n_lines, 64).sum(axis=0)
-            switching[cycle] = counts[:n_lanes]
-        prev_arr = cur_arr
-        state_words = [values[i] for i in ns_indices]
-        states.append(dict(zip(state_lines, state_words)))
-    return PackedSequenceResult(
-        states=states,
-        switching_counts=switching,
-        n_lanes=n_lanes,
-        final_line_values=cc.as_dict(values),
+    mask = (1 << n_lanes) - 1
+    count_idx = (
+        None if count_lines is None else [cc.index[line] for line in count_lines]
+    )
+    return _run_packed(
+        cc,
+        broadcast_state_words(initial_state, mask),
+        pi_word_rows,
+        n_lanes,
+        count_idx,
+        hold_indices,
+        1 << hold_period_log2,
     )
 
 

@@ -10,11 +10,14 @@ from repro.circuits.benchmarks import get_circuit
 from repro.circuits.generator import GeneratorSpec, generate
 from repro.logic.bitsim import (
     PatternSimulator,
+    broadcast_state_words,
     lane_state,
     pack_bits,
     pack_vectors,
+    simulate_packed_words,
     simulate_sequences_packed,
     unpack_bits,
+    unpack_lane_bits,
 )
 from repro.logic.simulator import simulate_comb, simulate_sequence
 
@@ -159,3 +162,77 @@ class TestPackedSequences:
         packed = simulate_sequences_packed(c, [[0] * 4], seqs)
         scalar = simulate_sequence(c, [0] * 4, seqs[0])
         assert lane_state(packed.states, c, 6, 0) == tuple(scalar.states[6])
+
+
+class TestWordHelpers:
+    def test_broadcast_state_words(self):
+        words = broadcast_state_words([1, 0, 1, 1], 0b111)
+        assert words == [0b111, 0, 0b111, 0b111]
+
+    def test_unpack_lane_bits_round_trip(self):
+        rng = random.Random(5)
+        lanes = 7
+        rows = [
+            [rng.getrandbits(lanes) for _ in range(4)] for _ in range(9)
+        ]
+        bits = unpack_lane_bits(rows, lanes)
+        assert bits.shape == (9, 4, lanes)
+        for i, row in enumerate(rows):
+            for j, word in enumerate(row):
+                for t in range(lanes):
+                    assert bits[i, j, t] == (word >> t) & 1
+
+    def test_unpack_lane_bits_empty(self):
+        assert unpack_lane_bits([], 4).shape == (0, 0, 4)
+
+
+class TestPackedWords:
+    def test_matches_scalar_per_lane(self):
+        """simulate_packed_words from one shared state == per-lane scalar."""
+        c = get_circuit("s298")
+        rng = random.Random(3)
+        lanes, length = 6, 10
+        init = [rng.randint(0, 1) for _ in c.flops]
+        seqs = [
+            [[rng.randint(0, 1) for _ in c.inputs] for _ in range(length)]
+            for _ in range(lanes)
+        ]
+        pi_rows = [
+            [
+                sum(seqs[t][cyc][j] << t for t in range(lanes))
+                for j in range(len(c.inputs))
+            ]
+            for cyc in range(length)
+        ]
+        packed = simulate_packed_words(c, init, pi_rows, lanes)
+        pct = packed.switching_percent(c.num_lines)
+        for t in range(lanes):
+            scalar = simulate_sequence(c, init, seqs[t])
+            assert packed.lane_states(t, length) == [
+                tuple(s) for s in scalar.states
+            ]
+            for cyc in range(1, length):
+                assert pct[cyc, t] == pytest.approx(scalar.switching[cyc])
+
+    def test_hold_matches_scalar_holding(self):
+        """Packed hold-indices semantics == simulate_with_holding."""
+        from repro.core.state_holding import hold_indices, simulate_with_holding
+
+        c = get_circuit("s298")
+        rng = random.Random(8)
+        length = 12
+        hold_set = tuple(c.state_lines[:3])
+        init = [0] * len(c.flops)
+        seq = [[rng.randint(0, 1) for _ in c.inputs] for _ in range(length)]
+        pi_rows = [[bit for bit in vec] for vec in seq]  # 1 lane: words == bits
+        packed = simulate_packed_words(
+            c, init, pi_rows, 1,
+            hold_indices=hold_indices(c, hold_set),
+            hold_period_log2=2,
+        )
+        scalar = simulate_with_holding(
+            c, init, seq, hold_set, hold_period_log2=2
+        )
+        assert packed.lane_states(0, length) == [
+            tuple(s) for s in scalar.states
+        ]

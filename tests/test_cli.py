@@ -60,3 +60,8 @@ class TestCommands:
         assert main(["table", "4.2"]) == 0
         out = capsys.readouterr().out
         assert "NSV" in out
+
+    def test_table_jobs_flag(self):
+        args = build_parser().parse_args(["table", "4.3", "--jobs", "4"])
+        assert args.jobs == 4
+        assert build_parser().parse_args(["table", "4.3"]).jobs == 1

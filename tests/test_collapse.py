@@ -7,7 +7,9 @@ from repro.circuits.netlist import Circuit
 from repro.faults.collapse import (
     collapse_stuck_at,
     collapse_transition,
+    collapsed_transition_faults,
     stuck_at_equivalence_classes,
+    transition_equivalence_classes,
 )
 from repro.faults.lists import all_stuck_at_faults, all_transition_faults
 from repro.faults.models import FALL, RISE, StuckAtFault, TransitionFault
@@ -108,3 +110,28 @@ class TestTransitionCollapse:
         once = collapse_transition(c, all_transition_faults(c))
         twice = collapse_transition(c, once)
         assert once == twice
+
+
+class TestMemoization:
+    def test_classes_cached_until_version_bump(self):
+        c = inverter_chain()
+        first = transition_equivalence_classes(c)
+        assert transition_equivalence_classes(c) is first
+        c.add_gate("d", "NOT", ["cc"])  # structural edit bumps the version
+        assert transition_equivalence_classes(c) is not first
+
+    def test_collapsed_list_cached_and_fresh(self):
+        c = get_circuit("s344")
+        first = collapsed_transition_faults(c)
+        second = collapsed_transition_faults(c)
+        # Same contents, but a fresh list: callers may reorder or filter.
+        assert first == second
+        assert first is not second
+        second.pop()
+        assert collapsed_transition_faults(c) == first
+
+    def test_matches_uncached_collapse(self):
+        c = get_circuit("s298")
+        assert collapsed_transition_faults(c) == collapse_transition(
+            c, all_transition_faults(c)
+        )

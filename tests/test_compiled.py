@@ -123,6 +123,36 @@ class TestScalarAgreement:
         assert got.line_values == ref.line_values
 
 
+class TestWordKernelCodegen:
+    def test_generated_kernel_matches_scalar(self):
+        """The exec-generated eval_words == per-bit eval_scalar."""
+        c = random_circuit(3)
+        cc = compile_circuit(c)
+        rng = random.Random(3)
+        lanes = 64
+        mask = (1 << lanes) - 1
+        values = cc.zero_frame()
+        source_bits = [rng.getrandbits(lanes) for _ in range(cc.n_sources)]
+        values[0 : cc.n_sources] = source_bits
+        cc.eval_words(values, mask)
+        for t in range(lanes):
+            scalar = cc.zero_frame()
+            scalar[0 : cc.n_sources] = [(w >> t) & 1 for w in source_bits]
+            cc.eval_scalar(scalar)
+            for i in range(cc.num_lines):
+                assert (values[i] >> t) & 1 == scalar[i], (i, t)
+
+    def test_kernel_built_once(self):
+        c = random_circuit(4)
+        cc = compile_circuit(c)
+        assert cc._word_kernel is None
+        cc.eval_words(cc.zero_frame(), 1)
+        kernel = cc._word_kernel
+        assert kernel is not None
+        cc.eval_words(cc.zero_frame(), 1)
+        assert cc._word_kernel is kernel
+
+
 class TestBitParallelAgreement:
     @settings(max_examples=20, deadline=None)
     @given(data=st.data())

@@ -4,6 +4,7 @@ import pytest
 
 from repro.core.builtin_gen import BuiltinGenConfig
 from repro.experiments.format import render, seconds
+from repro.experiments.runner import ExperimentTask, derive_seed, run_tasks
 from repro.experiments.tables2 import render_table, run_chapter2
 from repro.experiments.tables3 import (
     run_selection,
@@ -116,6 +117,54 @@ class TestChapter4Harness:
         for case in cases:
             if case.swa_func is not None:
                 assert case.result.peak_swa <= case.swa_func + 1e-9
+
+
+def _square(x):
+    return x * x
+
+
+class TestRunner:
+    def test_results_in_task_order(self):
+        tasks = [
+            ExperimentTask(key=f"sq/{i}", fn=_square, kwargs={"x": i})
+            for i in range(6)
+        ]
+        assert run_tasks(tasks, jobs=1) == [0, 1, 4, 9, 16, 25]
+
+    def test_pool_matches_inline(self):
+        tasks = [
+            ExperimentTask(key=f"sq/{i}", fn=_square, kwargs={"x": i})
+            for i in range(6)
+        ]
+        assert run_tasks(tasks, jobs=3) == run_tasks(tasks, jobs=1)
+
+    def test_jobs_none_runs_inline(self):
+        tasks = [ExperimentTask(key="one", fn=_square, kwargs={"x": 4})]
+        assert run_tasks(tasks, jobs=None) == [16]
+
+    def test_derive_seed_stable_and_distinct(self):
+        a = derive_seed(5, "table4.3/s298")
+        assert a == derive_seed(5, "table4.3/s298")
+        assert a != derive_seed(5, "table4.3/s344")
+        assert a != derive_seed(6, "table4.3/s298")
+        assert 0 < a < 2**31 - 1
+
+    def test_table_4_3_parallel_identical(self):
+        """jobs=2 must reproduce the jobs=1 rows exactly."""
+        config = BuiltinGenConfig(
+            segment_length=40, time_limit=None, rng_seed=2,
+            q_limit=1, r_limit=2, max_sequences=2,
+        )
+        kwargs = dict(
+            targets=("s298", "s344"),
+            drivers=("s953",),
+            config=config,
+            n_sequences=2,
+            func_length=30,
+        )
+        serial = run_table_4_3(jobs=1, **kwargs)
+        parallel = run_table_4_3(jobs=2, **kwargs)
+        assert serial == parallel
 
 
 class TestFigures:

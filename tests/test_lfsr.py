@@ -4,7 +4,14 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.bist.lfsr import Lfsr, Misr, PRIMITIVE_TAPS, primitive_taps, signature_of
+from repro.bist.lfsr import (
+    Lfsr,
+    LfsrLanes,
+    Misr,
+    PRIMITIVE_TAPS,
+    primitive_taps,
+    signature_of,
+)
 
 
 class TestLfsr:
@@ -56,6 +63,77 @@ class TestLfsr:
     def test_32_stage_tabulated(self):
         assert 32 in PRIMITIVE_TAPS
         Lfsr(n=32, seed=0xDEADBEEF).run(100)
+
+    @pytest.mark.parametrize("n", [4, 8, 16])
+    def test_step_matches_per_tap_parity(self, n):
+        """The tap-mask popcount feedback equals the per-tap XOR loop."""
+        taps = primitive_taps(n)
+        lfsr = Lfsr(n=n, seed=3)
+        for _ in range(200):
+            state = lfsr.state
+            expect = 0
+            for t in taps:
+                expect ^= (state >> (t - 1)) & 1
+            assert lfsr.step() == expect
+
+
+class TestLfsrLanes:
+    def test_lanes_match_scalar(self):
+        """Every lane traverses its scalar Lfsr's exact state sequence."""
+        n = 8
+        seeds = [1, 2, 3, 0x55, 0xFF]
+        lanes = LfsrLanes(n, seeds)
+        scalars = [Lfsr(n=n, seed=s) for s in seeds]
+        for _ in range(100):
+            packed = lanes.step()
+            for t, lfsr in enumerate(scalars):
+                assert (packed >> t) & 1 == lfsr.step()
+                assert lanes.states[t] == lfsr.state
+
+    def test_full_64_lanes(self):
+        seeds = list(range(1, 65))
+        lanes = LfsrLanes(10, seeds)
+        lanes.run(20)
+        scalars = [Lfsr(n=10, seed=s) for s in seeds]
+        for lfsr in scalars:
+            lfsr.run(20)
+        assert lanes.states == [lfsr.state for lfsr in scalars]
+
+    def test_lane_limits(self):
+        with pytest.raises(ValueError):
+            LfsrLanes(4, [])
+        with pytest.raises(ValueError):
+            LfsrLanes(4, [1] * 65)
+        with pytest.raises(ValueError):
+            LfsrLanes(4, [0])
+
+
+class TestSequenceBatch:
+    def test_developed_tpg_batch_matches_sequence(self):
+        from repro.bist.tpg import DevelopedTpg
+        from repro.circuits.benchmarks import get_circuit
+
+        tpg = DevelopedTpg.for_circuit(get_circuit("s298"))
+        seeds = [1, 19, 0xABC, (1 << tpg.n_lfsr) - 1]
+        length = 30
+        rows = tpg.sequence_batch(seeds, length)
+        for t, seed in enumerate(seeds):
+            expect = tpg.sequence(seed, length)
+            got = [[(w >> t) & 1 for w in row] for row in rows]
+            assert got == expect
+
+    def test_reference_tpg_batch_matches_sequence(self):
+        from repro.bist.tpg import ReferenceTpg
+        from repro.circuits.benchmarks import get_circuit
+
+        tpg = ReferenceTpg.for_circuit(get_circuit("s27"))
+        seeds = [1, 7, 500]
+        length = 25
+        rows = tpg.sequence_batch(seeds, length)
+        for t, seed in enumerate(seeds):
+            expect = tpg.sequence(seed, length)
+            got = [[(w >> t) & 1 for w in row] for row in rows]
+            assert got == expect
 
 
 class TestMisr:
