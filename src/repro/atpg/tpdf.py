@@ -31,10 +31,10 @@ Tables 2.1-2.4.
 from __future__ import annotations
 
 import random
-import time
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
+from repro import obs
 from repro.atpg.broadside import BroadsideAtpg
 from repro.atpg.implication import imply, merge_assignments
 from repro.atpg.input_assignments import transition_fault_na
@@ -145,78 +145,88 @@ class TpdfPipeline:
         constituents = {f: f.transition_faults(self.circuit) for f in faults}
 
         # Sub-procedure 1: transition-fault ATPG over the constituent union.
-        t0 = time.perf_counter()
-        universe: list[TransitionFault] = []
-        seen: set[TransitionFault] = set()
-        for trs in constituents.values():
-            for tr in trs:
-                if tr not in seen:
-                    seen.add(tr)
-                    universe.append(tr)
-        tf_result = self.atpg.generate_all(universe)
-        report.transition_tests = tf_result.tests
-        report.tg_time = time.perf_counter() - t0
+        # Every sub-procedure is timed through obs.timed() -- a forced span
+        # whose elapsed reading is valid whether or not collection is on,
+        # so reported runtimes and trace durations come from one clock.
+        with obs.timed("tpdf.transition_atpg") as timer:
+            universe: list[TransitionFault] = []
+            seen: set[TransitionFault] = set()
+            for trs in constituents.values():
+                for tr in trs:
+                    if tr not in seen:
+                        seen.add(tr)
+                        universe.append(tr)
+            tf_result = self.atpg.generate_all(universe)
+            report.transition_tests = tf_result.tests
+        report.tg_time = timer.elapsed
 
         # Sub-procedure 2: preprocessing.
-        t0 = time.perf_counter()
-        na_inputs: dict[TransitionPathDelayFault, dict[str, int]] = {}
-        survivors: list[TransitionPathDelayFault] = []
-        for fault in faults:
-            merged = self._preprocess(constituents[fault], tf_result.undetectable)
-            if merged is None:
-                report.outcomes[fault] = TpdfOutcome(UNDETECTABLE, SUB_PREPROCESS)
-            else:
-                free = set(self.atpg.model.free_inputs)
-                na_inputs[fault] = {k: v for k, v in merged.items() if k in free}
-                survivors.append(fault)
-        report.sub_times[SUB_PREPROCESS] = time.perf_counter() - t0
+        with obs.timed("tpdf.preprocess", faults=len(faults)) as timer:
+            na_inputs: dict[TransitionPathDelayFault, dict[str, int]] = {}
+            survivors: list[TransitionPathDelayFault] = []
+            for fault in faults:
+                merged = self._preprocess(constituents[fault], tf_result.undetectable)
+                if merged is None:
+                    report.outcomes[fault] = TpdfOutcome(UNDETECTABLE, SUB_PREPROCESS)
+                else:
+                    free = set(self.atpg.model.free_inputs)
+                    na_inputs[fault] = {k: v for k, v in merged.items() if k in free}
+                    survivors.append(fault)
+        report.sub_times[SUB_PREPROCESS] = timer.elapsed
 
         # Sub-procedure 3: fault simulation of the transition-fault tests.
-        t0 = time.perf_counter()
-        if survivors and tf_result.tests:
-            words = tpdf_detection_words(self.circuit, survivors, tf_result.tests)
-            still: list[TransitionPathDelayFault] = []
+        with obs.timed("tpdf.fault_simulation", faults=len(survivors)) as timer:
+            if survivors and tf_result.tests:
+                words = tpdf_detection_words(self.circuit, survivors, tf_result.tests)
+                still: list[TransitionPathDelayFault] = []
+                for fault in survivors:
+                    word = words[fault]
+                    if word:
+                        index = (word & -word).bit_length() - 1
+                        report.outcomes[fault] = TpdfOutcome(
+                            DETECTED, SUB_FSIM, tf_result.tests[index]
+                        )
+                    else:
+                        still.append(fault)
+                survivors = still
+        report.sub_times[SUB_FSIM] = timer.elapsed
+
+        # Sub-procedure 4: dynamic compaction heuristic.
+        with obs.timed("tpdf.heuristic", faults=len(survivors)) as timer:
+            failures: dict[TransitionPathDelayFault, dict[TransitionFault, int]] = {}
+            still = []
             for fault in survivors:
-                word = words[fault]
-                if word:
-                    index = (word & -word).bit_length() - 1
-                    report.outcomes[fault] = TpdfOutcome(
-                        DETECTED, SUB_FSIM, tf_result.tests[index]
-                    )
+                failures[fault] = {tr: 0 for tr in constituents[fault]}
+                cube = self._heuristic(
+                    constituents[fault], na_inputs[fault], failures[fault]
+                )
+                if cube is not None:
+                    test = self.atpg.model.to_broadside_test(cube)
+                    report.outcomes[fault] = TpdfOutcome(DETECTED, SUB_HEURISTIC, test)
                 else:
                     still.append(fault)
             survivors = still
-        report.sub_times[SUB_FSIM] = time.perf_counter() - t0
-
-        # Sub-procedure 4: dynamic compaction heuristic.
-        t0 = time.perf_counter()
-        failures: dict[TransitionPathDelayFault, dict[TransitionFault, int]] = {}
-        still = []
-        for fault in survivors:
-            failures[fault] = {tr: 0 for tr in constituents[fault]}
-            cube = self._heuristic(
-                constituents[fault], na_inputs[fault], failures[fault]
-            )
-            if cube is not None:
-                test = self.atpg.model.to_broadside_test(cube)
-                report.outcomes[fault] = TpdfOutcome(DETECTED, SUB_HEURISTIC, test)
-            else:
-                still.append(fault)
-        survivors = still
-        report.sub_times[SUB_HEURISTIC] = time.perf_counter() - t0
+        report.sub_times[SUB_HEURISTIC] = timer.elapsed
 
         # Sub-procedure 5: branch and bound.
-        t0 = time.perf_counter()
-        for fault in survivors:
-            status, cube = self._branch_and_bound(
-                constituents[fault], na_inputs[fault], failures[fault]
-            )
-            if status == DETECTED:
-                test = self.atpg.model.to_broadside_test(cube)
-                report.outcomes[fault] = TpdfOutcome(DETECTED, SUB_BRANCH_BOUND, test)
-            else:
-                report.outcomes[fault] = TpdfOutcome(status, SUB_BRANCH_BOUND)
-        report.sub_times[SUB_BRANCH_BOUND] = time.perf_counter() - t0
+        with obs.timed("tpdf.branch_and_bound", faults=len(survivors)) as timer:
+            for fault in survivors:
+                status, cube = self._branch_and_bound(
+                    constituents[fault], na_inputs[fault], failures[fault]
+                )
+                if status == DETECTED:
+                    test = self.atpg.model.to_broadside_test(cube)
+                    report.outcomes[fault] = TpdfOutcome(
+                        DETECTED, SUB_BRANCH_BOUND, test
+                    )
+                else:
+                    report.outcomes[fault] = TpdfOutcome(status, SUB_BRANCH_BOUND)
+        report.sub_times[SUB_BRANCH_BOUND] = timer.elapsed
+        if obs.enabled():
+            obs.count("tpdf.faults_classified", len(report.outcomes))
+            obs.count("tpdf.detected", report.count(DETECTED))
+            obs.count("tpdf.undetectable", report.count(UNDETECTABLE))
+            obs.count("tpdf.aborted", report.count(ABORTED))
         return report
 
     # ------------------------------------------------------------------
@@ -255,9 +265,9 @@ class TpdfPipeline:
         failures: dict[TransitionFault, int],
     ) -> dict[str, int] | None:
         """Fig 2.2: dynamic-compaction-style multi-target generation."""
-        deadline = time.perf_counter() + self.heuristic_time_limit
+        watch = obs.stopwatch()
         used: set[TransitionFault] = set()
-        while time.perf_counter() < deadline:
+        while not watch.expired(self.heuristic_time_limit):
             candidates = [tr for tr in constituents if tr not in used]
             if not candidates:
                 return None
@@ -306,7 +316,7 @@ class TpdfPipeline:
         """Fig 2.3: complete search with cross-target backtracking."""
         podem = self.atpg.podem
         model = self.atpg.model.model
-        deadline = time.perf_counter() + self.bnb_time_limit
+        watch = obs.stopwatch()
         # Start from the fault hardest for the heuristic (highest failures).
         order = sorted(constituents, key=lambda tr: -failures[tr])
         assignments: dict[str, int] = dict(na_inputs)
@@ -347,7 +357,7 @@ class TpdfPipeline:
             return False
 
         while True:
-            if time.perf_counter() > deadline or backtracks > self.bnb_backtrack_limit:
+            if watch.expired(self.bnb_time_limit) or backtracks > self.bnb_backtrack_limit:
                 return (ABORTED, None)
             undetected = undetected_faults()
             if not undetected:

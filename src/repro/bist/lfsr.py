@@ -21,6 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
+from repro.obs import OBS
+
 #: Primitive polynomial tap positions (1-based exponents, excluding x^0)
 #: for maximal-length LFSRs.  ``x^n + x^k + ... + 1`` is stored as
 #: ``(n, k, ...)``.
@@ -136,6 +138,9 @@ class Lfsr:
 
     def run(self, cycles: int) -> list[int]:
         """Advance ``cycles`` clocks; returns the serial output stream."""
+        if OBS.enabled:
+            OBS.count("lfsr.runs")
+            OBS.count("lfsr.cycles", cycles)
         return [self.step() for _ in range(cycles)]
 
     def period(self, limit: int | None = None) -> int:
@@ -207,6 +212,9 @@ class LfsrLanes:
 
     def run(self, cycles: int) -> list[int]:
         """Advance ``cycles`` clocks; returns the packed serial stream."""
+        if OBS.enabled:
+            OBS.count("lfsr.lane_runs")
+            OBS.count("lfsr.lane_cycles", cycles * self.n_lanes)
         return [self.step() for _ in range(cycles)]
 
 

@@ -30,6 +30,27 @@ from repro.bist.cube import InputCube, compute_input_cube
 from repro.bist.lfsr import PRIMITIVE_TAPS, Lfsr, LfsrLanes
 from repro.circuits.netlist import Circuit
 from repro.logic.values import is_binary
+from repro.obs import OBS
+
+
+def _validate_batch_seeds(seeds: Sequence[int], n_lfsr: int, owner: str) -> None:
+    """Reject lane/seed-count mismatches before the lane engine runs.
+
+    Raises :class:`ValueError` naming the offending sizes -- previously a
+    bad seed list surfaced as an opaque failure deep inside
+    :class:`repro.bist.lfsr.LfsrLanes` or the packed word kernel.
+    """
+    if not 0 < len(seeds) <= 64:
+        raise ValueError(
+            f"{owner}.sequence_batch: got {len(seeds)} seeds; between 1 and "
+            "64 packed lanes are supported per batch"
+        )
+    for t, seed in enumerate(seeds):
+        if not 0 < seed < (1 << n_lfsr):
+            raise ValueError(
+                f"{owner}.sequence_batch: seeds[{t}] = {seed} is not a "
+                f"non-zero {n_lfsr}-bit LFSR seed"
+            )
 
 
 @dataclass
@@ -154,6 +175,9 @@ class DevelopedTpg(TpgStructure):
     def sequence(self, seed: int, length: int) -> list[list[int]]:
         """The primary input sequence produced from ``seed``."""
         self.load_seed(seed)
+        if OBS.enabled:
+            OBS.count("tpg.sequences")
+            OBS.count("tpg.cycles", length)
         return [self.next_vector() for _ in range(length)]
 
     def sequence_batch(self, seeds: Sequence[int], length: int) -> list[list[int]]:
@@ -166,6 +190,7 @@ class DevelopedTpg(TpgStructure):
         together through :class:`repro.bist.lfsr.LfsrLanes`.  The rows feed
         the packed word simulator directly, no per-lane re-packing.
         """
+        _validate_batch_seeds(seeds, self.n_lfsr, type(self).__name__)
         lanes = LfsrLanes(self.n_lfsr, list(seeds))
         mask = (1 << lanes.n_lanes) - 1
         register = list(
@@ -176,6 +201,9 @@ class DevelopedTpg(TpgStructure):
             register.insert(0, lanes.step())
             register.pop()
             rows.append(self._words_from_bit_words(register, mask))
+        if OBS.enabled:
+            OBS.count("tpg.batch_expansions")
+            OBS.count("tpg.batch_lane_cycles", length * lanes.n_lanes)
         return rows
 
 
@@ -231,6 +259,9 @@ class ReferenceTpg(TpgStructure):
     def sequence(self, seed: int, length: int) -> list[list[int]]:
         """The primary input sequence produced from ``seed``."""
         self.load_seed(seed)
+        if OBS.enabled:
+            OBS.count("tpg.sequences")
+            OBS.count("tpg.cycles", length)
         return [self.next_vector() for _ in range(length)]
 
     def sequence_batch(self, seeds: Sequence[int], length: int) -> list[list[int]]:
@@ -239,10 +270,14 @@ class ReferenceTpg(TpgStructure):
         the LFSR stages directly, so the stage words of
         :class:`repro.bist.lfsr.LfsrLanes` stand in for the shift register.
         """
+        _validate_batch_seeds(seeds, self.n_lfsr, type(self).__name__)
         lanes = LfsrLanes(self.n_lfsr, list(seeds), taps=self._taps())
         mask = (1 << lanes.n_lanes) - 1
         rows: list[list[int]] = []
         for _ in range(length):
             lanes.step()
             rows.append(self._words_from_bit_words(lanes.stage_words, mask))
+        if OBS.enabled:
+            OBS.count("tpg.batch_expansions")
+            OBS.count("tpg.batch_lane_cycles", length * lanes.n_lanes)
         return rows

@@ -8,6 +8,13 @@ Subcommands mirror the paper's three methods plus utilities::
     repro-eda tpdf s27 --max-faults 60      # Chapter 2 pipeline
     repro-eda select-paths s298 --n 6       # Chapter 3 procedure
     repro-eda table 4.3                     # regenerate a paper table
+    repro-eda stats trace.jsonl             # re-render a saved trace
+
+Observability: ``generate`` and ``table`` accept ``--stats`` (print the
+run report: per-phase time breakdown, seeds tried/accepted, truncation
+histogram, grading passes, compile-cache hits) and ``--trace FILE``
+(write the span trace as JSONL; view it later with ``repro-eda stats``).
+``table --jobs N`` merges each worker's metrics back into one report.
 
 All output is plain text; every command is deterministic for fixed seeds.
 """
@@ -17,6 +24,28 @@ from __future__ import annotations
 import argparse
 import sys
 from typing import Sequence
+
+
+def _obs_setup(args: argparse.Namespace) -> bool:
+    """Enable metric collection when ``--stats``/``--trace`` asks for it."""
+    from repro import obs
+
+    wants = bool(getattr(args, "stats", False) or getattr(args, "trace", None))
+    if wants:
+        obs.enable()
+    return wants
+
+
+def _obs_finish(args: argparse.Namespace) -> None:
+    """Emit the run report and/or trace file requested on the command line."""
+    from repro import obs
+
+    if getattr(args, "trace", None):
+        n = obs.save_trace(args.trace)
+        print(f"wrote {n} trace span(s) to {args.trace}", file=sys.stderr)
+    if getattr(args, "stats", False):
+        print()
+        print(obs.render_report(obs.registry()))
 
 
 def _cmd_circuits(args: argparse.Namespace) -> int:
@@ -65,6 +94,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     from repro.core.state_holding import run_with_state_holding
     from repro.faults.collapse import collapsed_transition_faults
 
+    _obs_setup(args)
     target = get_circuit(args.circuit)
     faults = collapsed_transition_faults(target)
     config = BuiltinGenConfig(
@@ -99,6 +129,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
             f"({holding.selection.n_bits} bits), +{improvement:.2f}% FC "
             f"-> {result.coverage + improvement:.2f}%"
         )
+    _obs_finish(args)
     return 0
 
 
@@ -151,7 +182,15 @@ def _cmd_select_paths(args: argparse.Namespace) -> int:
 
 
 def _cmd_table(args: argparse.Namespace) -> int:
+    _obs_setup(args)
     table = args.table
+    progress = None
+    if args.jobs and args.jobs > 1 and not args.quiet:
+
+        def progress(i: int, task) -> None:
+            """Per-completed-row progress line on stderr (``--quiet`` hides it)."""
+            print(f"row {i + 1} done: {task.key}", file=sys.stderr, flush=True)
+
     if table.startswith("2."):
         from repro.experiments.tables2 import render_table, run_chapter2
 
@@ -181,11 +220,29 @@ def _cmd_table(args: argparse.Namespace) -> int:
             drivers=("s344", "s953"),
             config=BuiltinGenConfig(segment_length=120, time_limit=10),
             jobs=args.jobs,
+            progress=progress,
         )
         print(render_table_4_3(cases))
     else:
         print(f"unknown or unsupported table {table!r}", file=sys.stderr)
         return 2
+    _obs_finish(args)
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.obs import read_trace, render_trace
+
+    meta, events = read_trace(args.file)
+    if not events:
+        print(f"no span events in {args.file}", file=sys.stderr)
+        return 1
+    if meta.get("schema"):
+        print(f"trace {args.file} ({meta['schema']}, {len(events)} spans)")
+    else:
+        print(f"trace {args.file} ({len(events)} spans, no meta header)")
+    print()
+    print(render_trace(events, limit=args.limit))
     return 0
 
 
@@ -214,6 +271,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=1)
     p.add_argument("--hold", action="store_true", help="run the state-holding DFT")
     p.add_argument("--tree-height", type=int, default=2)
+    p.add_argument(
+        "--stats", action="store_true", help="print the observability run report"
+    )
+    p.add_argument(
+        "--trace", metavar="FILE", help="write the span trace as JSONL to FILE"
+    )
     p.set_defaults(func=_cmd_generate)
 
     p = sub.add_parser("tpdf", help="transition path delay fault ATPG")
@@ -236,7 +299,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for per-circuit experiment rows "
         "(results are identical for any value)",
     )
+    p.add_argument(
+        "--quiet", action="store_true", help="suppress per-row progress lines"
+    )
+    p.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the merged observability run report (workers included)",
+    )
+    p.add_argument(
+        "--trace", metavar="FILE", help="write the merged span trace as JSONL to FILE"
+    )
     p.set_defaults(func=_cmd_table)
+
+    p = sub.add_parser("stats", help="re-render a saved trace JSONL file")
+    p.add_argument("file", help="trace file written by --trace or REPRO_TRACE")
+    p.add_argument(
+        "--limit",
+        type=int,
+        default=40,
+        help="max span-tree lines to print (summary always covers everything)",
+    )
+    p.set_defaults(func=_cmd_stats)
     return parser
 
 

@@ -36,6 +36,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.bist.area import AreaReport, estimate_area
 from repro.bist.counters import ControllerCounters
 from repro.bist.tpg import DevelopedTpg
@@ -201,6 +202,12 @@ class BuiltinGenerator:
     # ------------------------------------------------------------------
     def run(self, hold_set: Sequence[str] | None = None) -> BuiltinGenResult:
         """Run the full construction procedure (Fig 4.9)."""
+        with obs.span(
+            "gen.run", circuit=self.circuit.name, holding=bool(hold_set)
+        ):
+            return self._run(hold_set)
+
+    def _run(self, hold_set: Sequence[str] | None) -> BuiltinGenResult:
         cfg = self.config
         deadline = time.monotonic() + cfg.time_limit if cfg.time_limit else None
         sequences: list[MultiSegmentSequence] = []
@@ -211,18 +218,27 @@ class BuiltinGenerator:
         while q_failures < cfg.q_limit and len(sequences) < cfg.max_sequences:
             if deadline and time.monotonic() > deadline:
                 break
-            multi, tests, detected, peak = self._construct_sequence(hold_set, deadline)
+            with obs.span("gen.sequence"):
+                multi, tests, detected, peak = self._construct_sequence(
+                    hold_set, deadline
+                )
             if not multi.segments:
                 q_failures += 1
+                obs.count("gen.sequences_failed")
                 continue
             q_failures = 0
             sequences.append(multi)
             per_sequence_tests.append(tests)
             detection_sets.append(detected)
             peak_swa = max(peak_swa, peak)
+            if obs.OBS.enabled:
+                obs.count("gen.sequences_accepted")
+                obs.observe("gen.segments_per_sequence", multi.n_segments)
         # Seed-set reduction: drop whole sequences that no longer
         # contribute coverage (reverse-order / forward-looking pass, [89]).
         kept = compact_groups(detection_sets).kept
+        if obs.OBS.enabled:
+            obs.count("gen.sequences_compacted_away", len(detection_sets) - len(kept))
         sequences = [sequences[i] for i in kept]
         all_tests = [t for i in kept for t in per_sequence_tests[i]]
         peak_swa = max(
@@ -244,6 +260,10 @@ class BuiltinGenerator:
             n_hold_sets=1 if hold_set else 0,
             n_held_bits=len(hold_set or ()),
         )
+        if obs.OBS.enabled:
+            obs.gauge("gen.coverage_percent", round(self.grader.coverage, 4))
+            obs.gauge("gen.peak_swa_percent", round(peak_swa, 4))
+            obs.count("gen.tests_applied", len(all_tests))
         return BuiltinGenResult(
             sequences=sequences,
             tests=all_tests,
@@ -299,6 +319,7 @@ class BuiltinGenerator:
         # The pattern-of-signal-transitions bound needs full per-cycle line
         # valuations, which the packed path does not retain.
         use_batch = cfg.batched and cfg.batch_lanes > 1 and self.pattern_bank is None
+        seeds_tried_this_segment = 0
         while r_failures < cfg.r_limit:
             if deadline and time.monotonic() > deadline:
                 break
@@ -313,11 +334,21 @@ class BuiltinGenerator:
                 failures, accepted = self._trial_single(state, hold_set)
             if accepted is None:
                 r_failures += failures
+                seeds_tried_this_segment += failures
                 continue
             seed, length, seg_tests, newly, seg_peak, end_state = accepted
             self.grader.commit(newly)
             r_failures = 0
             self.stats.seeds_accepted += 1
+            if obs.OBS.enabled:
+                obs.count("gen.seeds_accepted")
+                obs.observe(
+                    "gen.seeds_tried_per_segment",
+                    seeds_tried_this_segment + failures + 1,
+                )
+                obs.observe("gen.segment_length", length)
+                obs.observe("gen.new_detections_per_segment", len(newly))
+            seeds_tried_this_segment = 0
             multi.segments.append(
                 SegmentRecord(
                     seed=seed,
@@ -344,15 +375,24 @@ class BuiltinGenerator:
         seed = self.rng.getrandbits(self.tpg.n_lfsr) or 1
         self.stats.seeds_evaluated += 1
         self.stats.scalar_trials += 1
-        pi_vectors = self.tpg.sequence(seed, cfg.segment_length)
-        result = self._simulate(state, pi_vectors, hold_set)
+        obs.count("gen.seeds_evaluated")
+        obs.count("gen.scalar_trials")
+        with obs.span("gen.expand", seeds=1):
+            pi_vectors = self.tpg.sequence(seed, cfg.segment_length)
+        with obs.span("gen.simulate", lanes=1):
+            result = self._simulate(state, pi_vectors, hold_set)
         length = self._truncate_length(result)
+        full = len(result.switching) - (len(result.switching) % 2)
+        if length < full and obs.OBS.enabled:
+            obs.count("gen.truncations")
+            obs.observe("gen.truncated_length", length)
         if length < cfg.spacing:
             return 1, None
         seg_tests = extract_tests_from_sequence(
             self.circuit, result, pi_vectors[:length], spacing=cfg.spacing
         )
-        newly = self.grader.preview(seg_tests)
+        with obs.span("gen.grade", tests=len(seg_tests)):
+            newly = self.grader.preview(seg_tests)
         if not newly:
             return 1, None
         seg_peak = max(result.switching[1:length], default=0.0)
@@ -376,7 +416,8 @@ class BuiltinGenerator:
         n_bits = self.tpg.n_lfsr
         saved = self.rng.getstate()
         seeds = [self.rng.getrandbits(n_bits) or 1 for _ in range(width)]
-        pi_rows = self._lane_pi_words(seeds, cfg.segment_length)
+        with obs.span("gen.expand", seeds=width):
+            pi_rows = self._lane_pi_words(seeds, cfg.segment_length)
         hold_idx = None
         if hold_set:
             from repro.core.state_holding import hold_indices
@@ -387,16 +428,18 @@ class BuiltinGenerator:
                     "holding: held transitions leave the functional pattern space"
                 )
             hold_idx = hold_indices(self.circuit, hold_set)
-        packed = simulate_packed_words(
-            self.circuit,
-            state,
-            pi_rows,
-            width,
-            hold_indices=hold_idx,
-            hold_period_log2=cfg.hold_period_log2,
-            compiled=self.compiled,
-        )
+        with obs.span("gen.simulate", lanes=width):
+            packed = simulate_packed_words(
+                self.circuit,
+                state,
+                pi_rows,
+                width,
+                hold_indices=hold_idx,
+                hold_period_log2=cfg.hold_period_log2,
+                compiled=self.compiled,
+            )
         self.stats.packed_batches += 1
+        obs.count("gen.packed_batches")
         pcts = packed.switching_percent(self.compiled.num_lines)
         lengths = self._lane_lengths(pcts)
         survivors = [lane for lane in range(width) if lengths[lane] >= cfg.spacing]
@@ -422,10 +465,15 @@ class BuiltinGenerator:
                     lane_tests[k] = self._lane_tests(
                         state_bits, pi_bits, k, lengths[k]
                     )
-                for k, newly in zip(
-                    block, self.grader.preview_groups([lane_tests[k] for k in block])
-                ):
-                    lane_newly[k] = newly
+                if obs.OBS.enabled:
+                    obs.count("gen.grade_blocks")
+                    obs.observe("gen.lanes_per_grade_block", len(block))
+                with obs.span("gen.grade", lanes=len(block)):
+                    for k, newly in zip(
+                        block,
+                        self.grader.preview_groups([lane_tests[k] for k in block]),
+                    ):
+                        lane_newly[k] = newly
             newly = lane_newly[lane]
             if not newly:
                 failures += 1
@@ -436,6 +484,7 @@ class BuiltinGenerator:
             accepted = (seeds[lane], length, lane_tests[lane], newly, seg_peak, end_state)
             break
         self.stats.seeds_evaluated += scanned
+        obs.count("gen.seeds_evaluated", scanned)
         if scanned < width:
             # Rewind past the speculative draws: only the scanned seeds
             # were consumed by the Fig 4.9 decision sequence.
@@ -480,6 +529,13 @@ class BuiltinGenerator:
             else:
                 cut = length
             out.append(max(0, cut - (cut % 2)))
+        if obs.OBS.enabled:
+            full = length - (length % 2)
+            truncated = [v for v in out if v < full]
+            if truncated:
+                obs.count("gen.truncations", len(truncated))
+                for v in truncated:
+                    obs.observe("gen.truncated_length", v)
         return out
 
     def _lane_tests(

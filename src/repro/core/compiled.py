@@ -42,6 +42,8 @@ from typing import Mapping, Sequence
 from repro.circuits.gates import COMBINATIONAL_TYPES, GateType
 from repro.circuits.netlist import Circuit
 from repro.logic.values import X
+from repro.obs import OBS
+from repro.obs import span as _obs_span
 
 # Opcodes of the evaluation schedule, one per combinational gate type.
 OP_BUF, OP_NOT, OP_AND, OP_NAND, OP_OR, OP_NOR, OP_XOR, OP_XNOR = range(8)
@@ -286,7 +288,8 @@ class CompiledCircuit:
         """
         kernel = self._word_kernel
         if kernel is None:
-            kernel = self._word_kernel = self._build_word_kernel()
+            with _obs_span("compile.word_kernel", circuit=self.circuit.name):
+                kernel = self._word_kernel = self._build_word_kernel()
         return kernel(values, mask)
 
     def _build_word_kernel(self):
@@ -401,7 +404,13 @@ def compile_circuit(circuit: Circuit) -> CompiledCircuit:
     cached: CompiledCircuit | None = getattr(circuit, "_compiled", None)
     version = circuit.version
     if cached is not None and cached.version == version:
+        if OBS.enabled:
+            OBS.count("compile.cache_hits")
         return cached
-    compiled = CompiledCircuit(circuit, version)
+    with _obs_span("compile", circuit=circuit.name):
+        compiled = CompiledCircuit(circuit, version)
+    if OBS.enabled:
+        OBS.count("compile.cache_misses")
+        OBS.count("compile.gates_lowered", compiled.n_gates)
     circuit._compiled = compiled
     return compiled

@@ -19,6 +19,16 @@ process-pool plumbing:
 Workers receive circuit *names*, not circuit objects: each process loads
 and compiles its own copy, which keeps task payloads small and sidesteps
 pickling the memoized compile/collapse caches.
+
+Observability: when the parent's :mod:`repro.obs` registry is enabled,
+each worker enables its own (fresh, process-local) registry, runs its
+task under a ``runner.task`` span, and ships the registry snapshot back
+alongside the result; the parent merges every snapshot into its registry
+(events tagged with the task key), so ``repro-eda table --stats --jobs N``
+reports one coherent story regardless of ``N``.  A ``progress`` callback
+fires after each completed task -- in task order, which is also pool
+completion order under ``ProcessPoolExecutor.map``'s in-order delivery --
+and backs the per-row progress lines of ``repro-eda table``.
 """
 
 from __future__ import annotations
@@ -28,6 +38,8 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Sequence
 
+from repro import obs
+
 
 @dataclass(frozen=True)
 class ExperimentTask:
@@ -35,7 +47,8 @@ class ExperimentTask:
 
     ``fn`` must be a module-level function and ``kwargs`` picklable -- the
     requirements of process-pool dispatch.  ``key`` names the task for
-    seed derivation and diagnostics.
+    seed derivation, diagnostics, progress lines, and merged-trace
+    attribution.
     """
 
     key: str
@@ -58,7 +71,26 @@ def _call(task: ExperimentTask) -> Any:
     return task.fn(**dict(task.kwargs))
 
 
-def run_tasks(tasks: Sequence[ExperimentTask], jobs: int | None = None) -> list[Any]:
+def _call_observed(task: ExperimentTask) -> tuple[Any, dict[str, Any]]:
+    """Worker-side wrapper: run the task with a fresh enabled registry.
+
+    Returns ``(result, snapshot)``; the snapshot is a plain-dict
+    :meth:`repro.obs.registry.MetricsRegistry.snapshot` the parent merges.
+    Workers start with a pristine registry (fresh process or reset here),
+    so a snapshot contains exactly this task's metrics.
+    """
+    obs.reset()
+    obs.enable()
+    with obs.span("runner.task", key=task.key):
+        result = task.fn(**dict(task.kwargs))
+    return result, obs.snapshot()
+
+
+def run_tasks(
+    tasks: Sequence[ExperimentTask],
+    jobs: int | None = None,
+    progress: Callable[[int, ExperimentTask], None] | None = None,
+) -> list[Any]:
     """Run every task; returns results in task order.
 
     ``jobs`` of ``None``, 0, or 1 (or a single task) runs inline in this
@@ -67,10 +99,36 @@ def run_tasks(tasks: Sequence[ExperimentTask], jobs: int | None = None) -> list[
     task count.  Because each task is self-contained and results are
     collected in input order, the returned list is byte-for-byte the same
     for every ``jobs`` value.
+
+    ``progress(index, task)`` is invoked after each task completes (in
+    task order).  With the parent registry enabled, pool workers record
+    into their own registries and the snapshots are merged back here; the
+    inline path records straight into the parent registry.
     """
     tasks = list(tasks)
     n_jobs = int(jobs or 1)
     if n_jobs <= 1 or len(tasks) <= 1:
-        return [_call(task) for task in tasks]
+        results = []
+        for i, task in enumerate(tasks):
+            with obs.span("runner.task", key=task.key):
+                results.append(_call(task))
+            obs.count("runner.tasks_completed")
+            if progress is not None:
+                progress(i, task)
+        return results
+    collect = obs.enabled()
+    fn = _call_observed if collect else _call
+    results = []
     with ProcessPoolExecutor(max_workers=min(n_jobs, len(tasks))) as pool:
-        return list(pool.map(_call, tasks))
+        for i, item in enumerate(pool.map(fn, tasks)):
+            if collect:
+                result, snap = item
+                obs.merge(snap, task=tasks[i].key)
+                obs.count("runner.worker_registries_merged")
+                results.append(result)
+            else:
+                results.append(item)
+            obs.count("runner.tasks_completed")
+            if progress is not None:
+                progress(i, tasks[i])
+    return results

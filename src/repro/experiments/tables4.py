@@ -18,7 +18,7 @@ reports ``buffers`` plus the drivers giving the highest and lowest
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Callable, Sequence
 
 from repro.bist.tpg import DevelopedTpg
 from repro.circuits.benchmarks import get_circuit, make_buffers_block
@@ -227,12 +227,15 @@ def run_table_4_3(
     n_sequences: int = 16,
     func_length: int = 120,
     jobs: int | None = None,
+    progress: Callable[[int, ExperimentTask], None] | None = None,
 ) -> list[Table43Case]:
     """Run Table 4.3: per target, ``buffers`` + highest/lowest-SWA drivers.
 
     ``jobs > 1`` fans the per-target work across a process pool; every
     target builds its own generator and RNG stream, so the returned cases
     are identical for any ``jobs`` value (same order, same contents).
+    ``progress`` is forwarded to :func:`repro.experiments.runner.run_tasks`
+    and fires once per completed target.
     """
     config = config or BuiltinGenConfig(segment_length=150, time_limit=20)
     tasks = [
@@ -249,7 +252,8 @@ def run_table_4_3(
         )
         for target_name in targets
     ]
-    return [case for group in run_tasks(tasks, jobs=jobs) for case in group]
+    groups = run_tasks(tasks, jobs=jobs, progress=progress)
+    return [case for group in groups for case in group]
 
 
 def render_table_4_3(cases: Sequence[Table43Case]) -> str:
@@ -324,12 +328,13 @@ def run_table_4_4(
     tree_height: int = 2,
     config: BuiltinGenConfig | None = None,
     jobs: int | None = None,
+    progress: Callable[[int, ExperimentTask], None] | None = None,
 ) -> list[Table44Case]:
     """Run state holding for every Table 4.3 case below the FC threshold.
 
     Like :func:`run_table_4_3`, ``jobs`` only changes the wall clock:
     each eligible case is an independent task and results come back in
-    case order.
+    case order; ``progress`` fires once per completed case.
     """
     config = config or BuiltinGenConfig(segment_length=150, time_limit=15)
     tasks = [
@@ -341,7 +346,7 @@ def run_table_4_4(
         for case in cases
         if case.result.coverage < fc_threshold
     ]
-    return run_tasks(tasks, jobs=jobs)
+    return run_tasks(tasks, jobs=jobs, progress=progress)
 
 
 def render_table_4_4(cases: Sequence[Table44Case]) -> str:

@@ -31,6 +31,7 @@ from repro.core.compiled import CompiledCircuit, compile_circuit
 from repro.faults.models import StuckAtFault, TransitionFault
 from repro.logic.bitsim import pack_columns_indexed
 from repro.logic.patterns import BroadsideTest, Pattern
+from repro.obs import OBS
 
 
 def _value_word(word: int, value: int, mask: int) -> int:
@@ -112,19 +113,25 @@ class TransitionFaultSimulator:
         good2 = _pack_frame(cc, [t.v2 for t in tests], [t.s2 for t in tests], mask)
         index = cc.index
         out: dict[TransitionFault, int] = {}
+        # Local tallies, folded into the registry once per chunk -- the
+        # per-fault loop is the PPSFP hot path.
+        skipped_act = skipped_cone = cones_run = 0
         for fault in faults:
             g = index[fault.line]
             act = _value_word(good1[g], fault.initial_value, mask) & _value_word(
                 good2[g], fault.final_value, mask
             )
             if not act:
+                skipped_act += 1
                 out[fault] = 0
                 continue
             _, cone_obs = cc.cone(g)
             if not cone_obs:
+                skipped_cone += 1
                 out[fault] = 0
                 continue
             forced = mask if fault.stuck_value == 1 else 0
+            cones_run += 1
             faulty = cc.faulty_cone_words(good2, g, forced, mask)
             get = faulty.get
             det = 0
@@ -135,6 +142,13 @@ class TransitionFaultSimulator:
                     if det & act == act:
                         break
             out[fault] = det & act
+        if OBS.enabled:
+            OBS.count("fsim.ppsfp_passes")
+            OBS.count("fsim.faults_graded", len(faults))
+            OBS.count("fsim.tests_graded", n)
+            OBS.count("fsim.cones_resimulated", cones_run)
+            OBS.count("fsim.activation_skips", skipped_act)
+            OBS.count("fsim.unobservable_skips", skipped_cone)
         return out
 
 

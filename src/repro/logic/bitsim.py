@@ -30,6 +30,7 @@ property-check agreement.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
@@ -38,6 +39,7 @@ import numpy as np
 from repro.circuits.gates import GateType
 from repro.circuits.netlist import Circuit
 from repro.core.compiled import compile_circuit
+from repro.obs import OBS
 
 
 def pack_bits(bits: Sequence[int]) -> int:
@@ -256,6 +258,7 @@ def _run_packed(
     ns_indices = cc.next_state_indices
     n_lines = cc.num_lines if count_idx is None else len(count_idx)
     length = len(pi_word_rows)
+    t_start = time.perf_counter() if OBS.enabled else 0.0
 
     word_rows = [list(state_words)]
     states = [dict(zip(state_lines, state_words))]
@@ -282,6 +285,13 @@ def _run_packed(
         state_words = nxt
         word_rows.append(state_words)
         states.append(dict(zip(state_lines, state_words)))
+    if OBS.enabled:
+        # One record per packed run: the kernel itself stays untouched.
+        OBS.count("bitsim.packed_runs")
+        OBS.count("bitsim.cycles", length)
+        OBS.count("bitsim.lane_cycles", length * n_lanes)
+        OBS.count("bitsim.words_evaluated", length * cc.num_lines)
+        OBS.observe("span.bitsim.packed_run", time.perf_counter() - t_start)
     return PackedSequenceResult(
         states=states,
         switching_counts=switching,
@@ -357,13 +367,23 @@ def simulate_packed_words(
     lane-wise (identical cycle alignment in every lane).
     """
     if not 0 < n_lanes <= 64:
-        raise ValueError("between 1 and 64 packed lanes required")
+        raise ValueError(
+            f"simulate_packed_words: n_lanes={n_lanes} is outside the "
+            "supported 1..64 range (uint64 switching counters)"
+        )
     cc = compiled if compiled is not None else compile_circuit(circuit)
     if len(initial_state) != cc.n_state:
         raise ValueError(
             f"initial state has {len(initial_state)} bits, "
             f"circuit has {cc.n_state} flops"
         )
+    for i, row in enumerate(pi_word_rows):
+        if len(row) != cc.n_inputs:
+            raise ValueError(
+                f"simulate_packed_words: pi_word_rows[{i}] has {len(row)} "
+                f"input words, circuit {circuit.name!r} has {cc.n_inputs} "
+                "primary inputs"
+            )
     mask = (1 << n_lanes) - 1
     count_idx = (
         None if count_lines is None else [cc.index[line] for line in count_lines]

@@ -1,0 +1,205 @@
+"""``repro.obs`` -- zero-dependency observability for the whole stack.
+
+Three pieces (see DESIGN.md, *Observability*):
+
+* a process-local **metrics registry**
+  (:class:`repro.obs.registry.MetricsRegistry`): counters, gauges, and
+  value/timing histograms, exposed through the module-level singleton
+  :data:`OBS` and the helpers below;
+* **span tracing** (:mod:`repro.obs.trace`): ``with obs.span("grade",
+  circuit=name):`` times a nested region and emits a JSONL trace event;
+* a **run-report formatter** (:mod:`repro.obs.report`) that renders the
+  registry into the per-phase story ``repro-eda generate --stats`` prints.
+
+Observability is **off by default** and costs one attribute lookup per
+instrumented site while off (``if OBS.enabled: ...`` or an early-return
+method); ``benchmarks/bench_kernel.py`` enforces a <2% overhead budget for
+the *enabled* path on an end-to-end generation run, which is why every
+instrumented site records per batch / chunk / trial rather than per gate
+or per cycle.
+
+Cross-process: :func:`snapshot` / :meth:`MetricsRegistry.merge` carry a
+worker's registry back to the parent (done transparently by
+:func:`repro.experiments.runner.run_tasks`), so ``repro-eda table --jobs
+N`` still yields one merged report.
+
+This package sits at the very bottom of the layering -- it imports
+nothing from :mod:`repro` and nothing outside the standard library -- so
+any module may instrument itself without import cycles.
+
+Environment: ``REPRO_TRACE=<path>`` makes the benchmarks (and anything
+else calling :func:`enable_from_env`) enable collection and write the
+trace JSONL to ``<path>`` at exit of the instrumented region.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any, Mapping
+
+from repro.obs.registry import Histogram, MetricsRegistry
+from repro.obs.report import render_report
+from repro.obs.trace import (
+    NULL_SPAN,
+    Span,
+    dump_trace,
+    read_trace,
+    render_trace,
+    write_trace,
+)
+
+__all__ = [
+    "OBS",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Stopwatch",
+    "count",
+    "disable",
+    "dump_trace",
+    "enable",
+    "enable_from_env",
+    "enabled",
+    "gauge",
+    "merge",
+    "observe",
+    "read_trace",
+    "registry",
+    "render_report",
+    "render_trace",
+    "reset",
+    "save_trace",
+    "snapshot",
+    "span",
+    "stopwatch",
+    "timed",
+    "write_trace",
+]
+
+#: The process-local registry every instrumented module writes into.
+OBS = MetricsRegistry()
+
+#: Environment variable naming a trace output path (benchmark hook).
+TRACE_ENV = "REPRO_TRACE"
+
+
+def registry() -> MetricsRegistry:
+    """The process-local registry singleton."""
+    return OBS
+
+
+def enabled() -> bool:
+    """Whether metric/trace collection is currently on."""
+    return OBS.enabled
+
+
+def enable() -> None:
+    """Turn collection on (idempotent; keeps already-recorded data)."""
+    OBS.enabled = True
+
+
+def disable() -> None:
+    """Turn collection off (recorded data is kept until :func:`reset`)."""
+    OBS.enabled = False
+
+
+def reset() -> None:
+    """Drop everything recorded so far (enabled flag unchanged)."""
+    OBS.reset()
+
+
+def enable_from_env() -> str | None:
+    """Enable collection when ``REPRO_TRACE`` is set; returns the path.
+
+    The benchmark entry points call this once at startup so ``REPRO_TRACE=
+    trace.jsonl python benchmarks/bench_kernel.py`` records and saves a
+    trace with no code change.
+    """
+    path = os.environ.get(TRACE_ENV)
+    if path:
+        enable()
+    return path or None
+
+
+def count(name: str, n: float = 1) -> None:
+    """Add ``n`` to counter ``name`` on the singleton."""
+    OBS.count(name, n)
+
+
+def gauge(name: str, value: float) -> None:
+    """Set gauge ``name`` on the singleton."""
+    OBS.gauge(name, value)
+
+
+def observe(name: str, value: float) -> None:
+    """Fold ``value`` into histogram ``name`` on the singleton."""
+    OBS.observe(name, value)
+
+
+def span(name: str, **attrs: Any):
+    """A traced span context manager (shared no-op object while disabled).
+
+    Usage: ``with obs.span("grade", circuit=name): ...``.  The disabled
+    path allocates nothing and performs no clock reads.
+    """
+    if not OBS.enabled:
+        return NULL_SPAN
+    return Span(OBS, name, attrs)
+
+
+def timed(name: str, **attrs: Any) -> Span:
+    """A span that *always* measures wall time.
+
+    Unlike :func:`span`, the returned object's ``elapsed`` is valid after
+    exit even while collection is disabled (nothing is recorded then).
+    This is the timer the TPDF pipeline routes its reported sub-procedure
+    runtimes through, so run-time accounting uses one clock everywhere.
+    """
+    return Span(OBS, name, attrs, force=True)
+
+
+class Stopwatch:
+    """Monotonic elapsed-time reader for deadline accounting.
+
+    ``perf_counter``-based like every other obs timer, so time-limit
+    checks and reported durations agree.  Restartable via :meth:`restart`.
+    """
+
+    __slots__ = ("_start",)
+
+    def __init__(self) -> None:
+        self._start = time.perf_counter()
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds since construction (or the last :meth:`restart`)."""
+        return time.perf_counter() - self._start
+
+    def restart(self) -> None:
+        """Reset the zero point to now."""
+        self._start = time.perf_counter()
+
+    def expired(self, limit: float | None) -> bool:
+        """Whether ``limit`` seconds have passed (never, when ``None``)."""
+        return limit is not None and self.elapsed > limit
+
+
+def stopwatch() -> Stopwatch:
+    """A fresh :class:`Stopwatch`."""
+    return Stopwatch()
+
+
+def snapshot() -> dict[str, Any]:
+    """JSON-serializable dump of the singleton registry."""
+    return OBS.snapshot()
+
+
+def merge(snap: Mapping[str, Any], task: str | None = None) -> None:
+    """Fold a worker snapshot into the singleton registry."""
+    OBS.merge(snap, task=task)
+
+
+def save_trace(path: str) -> int:
+    """Write the singleton's trace events to ``path`` (JSONL); returns count."""
+    return write_trace(path, OBS)

@@ -1,0 +1,180 @@
+"""Span-based tracing: nested timed regions emitting JSONL trace events.
+
+A span is a timed region of the generation/simulation stack::
+
+    with obs.span("grade", circuit=name):
+        ...
+
+On exit the span records a trace event (name, start offset, duration,
+nesting depth, parent span, free-form attrs) into the process's
+:class:`repro.obs.registry.MetricsRegistry` plus a ``span.<name>``
+duration histogram, so the same instrumentation feeds both the per-phase
+time breakdown of the run report and the replayable JSONL trace.
+
+File format (one JSON object per line):
+
+* a ``{"type": "meta", ...}`` header with the wall-clock time and schema
+  version;
+* one ``{"type": "span", "name": ..., "start": ..., "dur": ...,
+  "depth": ..., "parent": ..., "attrs": {...}}`` row per completed span,
+  in completion order.  ``start`` is seconds since the registry epoch
+  (per process -- merged worker events keep their own epoch and carry a
+  ``task`` attr identifying the worker's unit of work).
+
+``repro-eda stats FILE`` re-renders a saved trace with
+:func:`render_trace`.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Mapping, Sequence, TextIO
+
+from repro.obs.registry import MetricsRegistry
+
+#: Schema tag written into the trace meta header.
+TRACE_SCHEMA = "repro-trace-v1"
+
+
+class Span:
+    """Context manager timing one region against a registry.
+
+    With ``force=True`` the span measures wall time even when the
+    registry is disabled (``elapsed`` is always valid after exit) but
+    records nothing -- the form :mod:`repro.atpg.tpdf` uses so its
+    reported runtimes come from the same clock whether or not tracing is
+    on.  Without ``force`` construction is only reached when the registry
+    is enabled (:func:`repro.obs.span` hands out :data:`NULL_SPAN`
+    otherwise).
+    """
+
+    __slots__ = ("registry", "name", "attrs", "force", "start", "elapsed")
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        name: str,
+        attrs: Mapping[str, Any],
+        force: bool = False,
+    ) -> None:
+        self.registry = registry
+        self.name = name
+        self.attrs = attrs
+        self.force = force
+        self.start = 0.0
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "Span":
+        if self.registry.enabled:
+            self.registry.span_enter(self.name)
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.elapsed = time.perf_counter() - self.start
+        if self.registry.enabled:
+            self.registry.span_exit(self.name, self.start, self.elapsed, self.attrs)
+
+
+class NullSpan:
+    """The do-nothing span handed out while tracing is disabled.
+
+    One shared instance (:data:`NULL_SPAN`); entering costs two method
+    calls and no timing.  ``elapsed`` reads 0.0 -- callers that need the
+    duration regardless use :func:`repro.obs.timed` instead.
+    """
+
+    __slots__ = ()
+
+    elapsed = 0.0
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        return None
+
+
+#: Shared disabled-path span (allocation-free).
+NULL_SPAN = NullSpan()
+
+
+def write_trace(path: str, registry: MetricsRegistry) -> int:
+    """Write the registry's completed span events to ``path`` as JSONL.
+
+    Returns the number of span rows written (excluding the meta header).
+    """
+    with open(path, "w") as fh:
+        return dump_trace(fh, registry)
+
+
+def dump_trace(fh: TextIO, registry: MetricsRegistry) -> int:
+    """:func:`write_trace` against an open text stream."""
+    meta = {
+        "type": "meta",
+        "schema": TRACE_SCHEMA,
+        "unix_time": int(time.time()),
+        "n_spans": len(registry.events),
+    }
+    fh.write(json.dumps(meta) + "\n")
+    for event in registry.events:
+        fh.write(json.dumps({"type": "span", **event}) + "\n")
+    return len(registry.events)
+
+
+def read_trace(path: str) -> tuple[dict[str, Any], list[dict[str, Any]]]:
+    """Read a JSONL trace back; returns ``(meta, span_events)``.
+
+    Tolerates a missing meta header (returns an empty dict) so hand-built
+    or truncated traces still render.
+    """
+    meta: dict[str, Any] = {}
+    events: list[dict[str, Any]] = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            row = json.loads(line)
+            if row.get("type") == "meta":
+                meta = row
+            elif row.get("type") == "span":
+                row.pop("type", None)
+                events.append(row)
+    return meta, events
+
+
+def render_trace(events: Sequence[Mapping[str, Any]], limit: int | None = None) -> str:
+    """Render span events as an indented text tree plus a per-name summary.
+
+    Events print in start order, indented by nesting depth, with duration
+    in milliseconds and their attrs inline; ``limit`` truncates the tree
+    (the summary always covers everything).
+    """
+    lines: list[str] = []
+    ordered = sorted(events, key=lambda e: (e.get("start", 0.0), e.get("depth", 0)))
+    shown = ordered if limit is None else ordered[:limit]
+    for event in shown:
+        attrs = event.get("attrs") or {}
+        attr_txt = " ".join(f"{k}={v}" for k, v in attrs.items())
+        lines.append(
+            "  " * int(event.get("depth", 0))
+            + f"{event['name']}  {1e3 * event.get('dur', 0.0):.2f} ms"
+            + (f"  [{attr_txt}]" if attr_txt else "")
+        )
+    if limit is not None and len(ordered) > limit:
+        lines.append(f"... {len(ordered) - limit} more spans")
+    totals: dict[str, list[float]] = {}
+    for event in ordered:
+        agg = totals.setdefault(event["name"], [0, 0.0])
+        agg[0] += 1
+        agg[1] += event.get("dur", 0.0)
+    if totals:
+        lines.append("")
+        lines.append(f"{'span':28s} {'count':>7s} {'total s':>10s} {'mean ms':>10s}")
+        for name, (count, total) in sorted(totals.items(), key=lambda kv: -kv[1][1]):
+            lines.append(
+                f"{name:28s} {int(count):7d} {total:10.3f} {1e3 * total / count:10.2f}"
+            )
+    return "\n".join(lines)

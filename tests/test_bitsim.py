@@ -236,3 +236,25 @@ class TestPackedWords:
         assert packed.lane_states(0, length) == [
             tuple(s) for s in scalar.states
         ]
+
+
+class TestPackedWordsValidation:
+    """simulate_packed_words rejects malformed inputs with named sizes."""
+
+    def test_lane_count_out_of_range(self):
+        c = get_circuit("s27")
+        with pytest.raises(ValueError, match="n_lanes=65 is outside"):
+            simulate_packed_words(c, [0] * len(c.flops), [], 65)
+        with pytest.raises(ValueError, match="n_lanes=0 is outside"):
+            simulate_packed_words(c, [0] * len(c.flops), [], 0)
+
+    def test_row_width_mismatch_names_row_and_circuit(self):
+        c = get_circuit("s27")
+        good_row = [0] * len(c.inputs)
+        bad_row = [0] * (len(c.inputs) + 1)
+        with pytest.raises(ValueError) as exc:
+            simulate_packed_words(c, [0] * len(c.flops), [good_row, bad_row], 2)
+        msg = str(exc.value)
+        assert "pi_word_rows[1]" in msg
+        assert f"{len(c.inputs) + 1} input words" in msg
+        assert "s27" in msg

@@ -65,3 +65,58 @@ class TestCommands:
         args = build_parser().parse_args(["table", "4.3", "--jobs", "4"])
         assert args.jobs == 4
         assert build_parser().parse_args(["table", "4.3"]).jobs == 1
+
+    def test_table_quiet_and_stats_flags(self):
+        args = build_parser().parse_args(
+            ["table", "4.3", "--quiet", "--stats", "--trace", "t.jsonl"]
+        )
+        assert args.quiet and args.stats and args.trace == "t.jsonl"
+
+
+class TestObservabilityCommands:
+    @pytest.fixture(autouse=True)
+    def clean_obs(self):
+        from repro import obs
+
+        obs.disable()
+        obs.reset()
+        yield
+        obs.disable()
+        obs.reset()
+
+    def test_generate_stats_report(self, capsys):
+        assert main(
+            ["generate", "s27", "--length", "40", "--time-limit", "5", "--stats"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "per-phase time breakdown" in out
+        assert "generation (Fig 4.9 construction)" in out
+        assert "seeds_evaluated" in out and "seeds_accepted" in out
+        assert "compiled circuit IR" in out and "cache_" in out
+        assert "fault grading (PPSFP)" in out
+
+    def test_generate_trace_then_stats(self, tmp_path, capsys):
+        trace = tmp_path / "gen.jsonl"
+        assert main(
+            [
+                "generate", "s27", "--length", "40", "--time-limit", "5",
+                "--trace", str(trace),
+            ]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "trace span(s)" in err
+        assert trace.exists()
+        assert main(["stats", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "repro-trace-v1" in out
+        assert "gen.run" in out
+
+    def test_stats_rejects_empty_file(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["stats", str(empty)]) == 1
+
+    def test_table_quiet_suppresses_progress(self, capsys):
+        assert main(["table", "4.2", "--jobs", "2", "--quiet"]) == 0
+        captured = capsys.readouterr()
+        assert "done" not in captured.err

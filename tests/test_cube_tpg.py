@@ -113,3 +113,38 @@ class TestReferenceTpg:
         ref = ReferenceTpg.for_circuit(c)
         dev = DevelopedTpg.for_circuit(c)
         assert dev.n_lfsr + dev.n_register_bits < ref.n_lfsr
+
+
+class TestSequenceBatchValidation:
+    """sequence_batch rejects bad seed lists with named sizes."""
+
+    def test_empty_and_oversized_seed_lists(self):
+        c = get_circuit("s298")
+        tpg = DevelopedTpg.for_circuit(c)
+        with pytest.raises(ValueError, match="got 0 seeds"):
+            tpg.sequence_batch([], 4)
+        with pytest.raises(ValueError, match="got 65 seeds"):
+            tpg.sequence_batch(list(range(1, 66)), 4)
+
+    def test_zero_seed_names_lane(self):
+        c = get_circuit("s298")
+        tpg = DevelopedTpg.for_circuit(c)
+        with pytest.raises(
+            ValueError, match=r"DevelopedTpg.sequence_batch: seeds\[1\] = 0"
+        ):
+            tpg.sequence_batch([5, 0, 7], 4)
+
+    def test_overwide_seed_rejected(self):
+        c = get_circuit("s298")
+        tpg = DevelopedTpg.for_circuit(c)
+        with pytest.raises(ValueError, match="non-zero 32-bit LFSR seed"):
+            tpg.sequence_batch([1 << 32], 4)
+
+    def test_valid_batch_still_matches_scalar(self):
+        c = get_circuit("s298")
+        tpg = DevelopedTpg.for_circuit(c)
+        rows = tpg.sequence_batch([9, 21], 6)
+        for t, seed in enumerate((9, 21)):
+            scalar = tpg.sequence(seed, 6)
+            got = [[(w >> t) & 1 for w in row] for row in rows]
+            assert got == scalar

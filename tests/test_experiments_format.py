@@ -1,0 +1,69 @@
+"""Golden-string tests for the experiment text formatters.
+
+Pins the exact rendered layout of :mod:`repro.experiments.format` and the
+section helper of :mod:`repro.experiments.report`, so accidental
+formatting drift in the table/report output is caught by diff rather than
+by eyeball.
+"""
+
+from repro.experiments.format import render, seconds
+from repro.experiments.report import _section
+
+
+class TestRender:
+    def test_golden_basic_table(self):
+        got = render(
+            "Table X",
+            ["Circuit", "FC %"],
+            [{"Circuit": "s27", "FC %": 46.88}, {"Circuit": "s298", "FC %": 73.6}],
+        )
+        assert got == (
+            "Table X\n"
+            "Circuit  FC % \n"
+            "-------  -----\n"
+            "s27      46.88\n"
+            "s298     73.6 "
+        )
+
+    def test_golden_note_and_none(self):
+        got = render(
+            "T",
+            ["A", "B"],
+            [{"A": None, "B": 1}],
+            note="dash means absent",
+        )
+        assert got == "T\nA  B\n-  -\n-  1\nnote: dash means absent"
+
+    def test_empty_rows_header_only(self):
+        got = render("T", ["Col"], [])
+        assert got == "T\nCol\n---"
+
+    def test_float_formatting_trims_zeros(self):
+        got = render("T", ["V"], [{"V": 2.50}])
+        assert got.splitlines()[-1] == "2.5"
+
+
+class TestSeconds:
+    def test_golden_values(self):
+        assert seconds(0) == "0:00:00"
+        assert seconds(59.4) == "0:00:59"
+        assert seconds(61) == "0:01:01"
+        assert seconds(3600) == "1:00:00"
+        assert seconds(7325) == "2:02:05"
+
+    def test_rounding(self):
+        assert seconds(59.6) == "0:01:00"
+
+
+class TestReportSection:
+    def test_golden_section_shape(self):
+        assert _section("Title", ["line one", "line two"]) == [
+            "## Title",
+            "",
+            "line one",
+            "line two",
+            "",
+        ]
+
+    def test_empty_body(self):
+        assert _section("T", []) == ["## T", "", ""]
