@@ -12,6 +12,12 @@ the dissertation's experiments::
 
 Supported gate tokens: ``AND``, ``NAND``, ``OR``, ``NOR``, ``XOR``,
 ``XNOR``, ``NOT``/``INV``, ``BUF``/``BUFF``, ``DFF``.
+
+Error reporting: every parse problem -- a malformed line, an unknown gate
+type, a duplicate signal definition, a reference to a signal no line
+defines -- raises :class:`BenchParseError` carrying the file name and the
+1-based line number of the offending (or, for duplicates, both) lines, so
+a bad netlist points straight at its own source.
 """
 
 from __future__ import annotations
@@ -26,9 +32,29 @@ _DECL_RE = re.compile(r"^(INPUT|OUTPUT)\s*\(\s*([^)\s]+)\s*\)$", re.IGNORECASE)
 _GATE_RE = re.compile(r"^([^=\s]+)\s*=\s*([A-Za-z]+)\s*\(\s*(.*?)\s*\)$")
 
 
+class BenchParseError(NetlistError):
+    """A ``.bench`` parse failure, located by file name and line number."""
+
+
 def loads(text: str, name: str = "bench") -> Circuit:
-    """Parse ``.bench`` text into a :class:`Circuit`."""
+    """Parse ``.bench`` text into a :class:`Circuit`.
+
+    Raises :class:`BenchParseError` (``"<name>:<lineno>: ..."``) for
+    malformed lines, unknown gate types, duplicate signal definitions,
+    and references to undefined signals.
+    """
     circuit = Circuit(name=name)
+    defined: dict[str, int] = {}  # signal -> line that defines (drives) it
+    uses: list[tuple[str, str, int]] = []  # (signal, context, lineno)
+
+    def define(signal: str, lineno: int) -> None:
+        if signal in defined:
+            raise BenchParseError(
+                f"{name}:{lineno}: duplicate definition of {signal!r} "
+                f"(first defined at line {defined[signal]})"
+            )
+        defined[signal] = lineno
+
     for lineno, raw in enumerate(text.splitlines(), start=1):
         line = raw.split("#", 1)[0].strip()
         if not line:
@@ -37,22 +63,42 @@ def loads(text: str, name: str = "bench") -> Circuit:
         if decl:
             kind, signal = decl.group(1).upper(), decl.group(2)
             if kind == "INPUT":
+                define(signal, lineno)
                 circuit.add_input(signal)
             else:
+                uses.append((signal, "OUTPUT declaration", lineno))
                 circuit.add_output(signal)
             continue
         gate = _GATE_RE.match(line)
         if gate is None:
-            raise NetlistError(f"{name}:{lineno}: cannot parse line {raw!r}")
+            raise BenchParseError(f"{name}:{lineno}: cannot parse line {raw!r}")
         out, type_token, args = gate.group(1), gate.group(2), gate.group(3)
         operands = [a.strip() for a in args.split(",") if a.strip()]
+        define(out, lineno)
         if type_token.upper() == "DFF":
             if len(operands) != 1:
-                raise NetlistError(f"{name}:{lineno}: DFF takes one input")
+                raise BenchParseError(
+                    f"{name}:{lineno}: DFF takes one input, got {len(operands)}"
+                )
+            uses.append((operands[0], f"DFF {out}", lineno))
             circuit.add_dff(q=out, d=operands[0])
         else:
-            circuit.add_gate(out, parse_gate_type(type_token), operands)
-    circuit.validate()
+            try:
+                gate_type = parse_gate_type(type_token)
+            except ValueError as exc:
+                raise BenchParseError(f"{name}:{lineno}: {exc}") from exc
+            for operand in operands:
+                uses.append((operand, f"gate {out}", lineno))
+            try:
+                circuit.add_gate(out, gate_type, operands)
+            except NetlistError as exc:
+                raise BenchParseError(f"{name}:{lineno}: {exc}") from exc
+    for signal, context, lineno in uses:
+        if signal not in defined:
+            raise BenchParseError(
+                f"{name}:{lineno}: {context} reads undefined signal {signal!r}"
+            )
+    circuit.validate()  # structural backstop (cycles, multi-driver, ...)
     return circuit
 
 

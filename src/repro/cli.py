@@ -16,6 +16,12 @@ histogram, grading passes, compile-cache hits) and ``--trace FILE``
 (write the span trace as JSONL; view it later with ``repro-eda stats``).
 ``table --jobs N`` merges each worker's metrics back into one report.
 
+Resilience (see :mod:`repro.resilience`): ``table`` accepts ``--timeout``
+and ``--retries`` (per-row deadline and retry budget; exhausted rows
+render as ``FAILED`` annotations and flip the exit code to 1 *after* the
+table prints) plus ``--checkpoint FILE`` / ``--resume`` (journal
+completed rows as ``repro-resume-v1`` JSONL and skip them on rerun).
+
 All output is plain text; every command is deterministic for fixed seeds.
 """
 
@@ -214,15 +220,38 @@ def _cmd_table(args: argparse.Namespace) -> int:
     elif table == "4.3":
         from repro.core.builtin_gen import BuiltinGenConfig
         from repro.experiments.tables4 import render_table_4_3, run_table_4_3
+        from repro.resilience import CheckpointError, TaskFailure
 
-        cases = run_table_4_3(
-            targets=("s298",),
-            drivers=("s344", "s953"),
-            config=BuiltinGenConfig(segment_length=120, time_limit=10),
-            jobs=args.jobs,
-            progress=progress,
-        )
+        if args.resume and not args.checkpoint:
+            print("--resume requires --checkpoint FILE", file=sys.stderr)
+            return 2
+        try:
+            cases = run_table_4_3(
+                targets=("s27", "s298"),
+                drivers=("s344", "s953"),
+                config=BuiltinGenConfig(segment_length=120, time_limit=10),
+                jobs=args.jobs,
+                progress=progress,
+                timeout_s=args.timeout,
+                max_retries=args.retries,
+                checkpoint_path=args.checkpoint,
+                resume=args.resume,
+            )
+        except CheckpointError as exc:
+            print(f"checkpoint error: {exc}", file=sys.stderr)
+            return 2
         print(render_table_4_3(cases))
+        failures = [c for c in cases if isinstance(c, TaskFailure)]
+        if failures:
+            # Degrade late: the table above is complete minus the failed
+            # rows; the nonzero exit flags the campaign as partial.
+            print(f"{len(failures)} row(s) failed:", file=sys.stderr)
+            for f in failures:
+                print(
+                    f"  {f.key}: {f.describe()} ({f.message})", file=sys.stderr
+                )
+            _obs_finish(args)
+            return 1
     else:
         print(f"unknown or unsupported table {table!r}", file=sys.stderr)
         return 2
@@ -301,6 +330,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--quiet", action="store_true", help="suppress per-row progress lines"
+    )
+    p.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-row deadline; an overrunning worker is killed and the row "
+        "retried (table 4.3)",
+    )
+    p.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="retries per row before it degrades to a FAILED entry "
+        "(default 2; table 4.3)",
+    )
+    p.add_argument(
+        "--checkpoint",
+        metavar="FILE",
+        help="journal completed rows to FILE as repro-resume-v1 JSONL "
+        "(table 4.3)",
+    )
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip rows already journaled in --checkpoint FILE",
     )
     p.add_argument(
         "--stats",

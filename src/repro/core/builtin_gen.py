@@ -56,6 +56,7 @@ from repro.logic.simulator import (
     extract_tests_from_sequence,
     simulate_sequence,
 )
+from repro.resilience.deadline import task_deadline
 
 #: Surviving candidate lanes are graded in blocks of this many through one
 #: PPSFP pass (:meth:`repro.faults.fsim.FaultGrader.preview_groups`): big
@@ -210,6 +211,11 @@ class BuiltinGenerator:
     def _run(self, hold_set: Sequence[str] | None) -> BuiltinGenResult:
         cfg = self.config
         deadline = time.monotonic() + cfg.time_limit if cfg.time_limit else None
+        # Under a campaign deadline (repro.resilience), finish the row
+        # cooperatively before the pool watchdog would kill the worker.
+        task_dl = task_deadline()
+        if task_dl is not None:
+            deadline = task_dl if deadline is None else min(deadline, task_dl)
         sequences: list[MultiSegmentSequence] = []
         per_sequence_tests: list[list[BroadsideTest]] = []
         detection_sets: list[set[TransitionFault]] = []

@@ -20,13 +20,33 @@ def _fmt(value) -> str:
     return str(value)
 
 
+def failure_row(columns: Sequence[str], label: str) -> dict[str, object]:
+    """A degraded row: the label in the first column, dashes elsewhere.
+
+    Used by the table harnesses to keep a failed task's slot visible in
+    the rendered table (``None`` cells render as ``-``); the failure
+    reason itself goes into :func:`render`'s ``annotations``.
+    """
+    row: dict[str, object] = {col: None for col in columns}
+    if columns:
+        row[columns[0]] = label
+    return row
+
+
 def render(
     title: str,
     columns: Sequence[str],
     rows: Sequence[Mapping[str, object]],
     note: str | None = None,
+    annotations: Sequence[str] | None = None,
 ) -> str:
-    """Render rows as an aligned text table."""
+    """Render rows as an aligned text table.
+
+    ``annotations`` are per-row footnotes (e.g. ``"s298/s344: FAILED:
+    timeout after 3 tries"``) printed after the data rows and before
+    the ``note:`` line, so a partially failed campaign still renders a
+    complete, self-describing table.
+    """
     cells = [[_fmt(row.get(col)) for col in columns] for row in rows]
     widths = [
         max(len(col), *(len(r[i]) for r in cells)) if cells else len(col)
@@ -37,6 +57,8 @@ def render(
     lines.append("  ".join("-" * w for w in widths))
     for r in cells:
         lines.append("  ".join(c.ljust(w) for c, w in zip(r, widths)))
+    for annotation in annotations or ():
+        lines.append(f"!! {annotation}")
     if note:
         lines.append(f"note: {note}")
     return "\n".join(lines)

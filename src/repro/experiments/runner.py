@@ -1,20 +1,33 @@
-"""Parallel experiment runner: deterministic fan-out of table rows.
+"""Resilient parallel experiment runner: deterministic fan-out of table rows.
 
 The Chapter 4 experiment harnesses (:mod:`repro.experiments.tables4`) are
 embarrassingly parallel at the row level: every target circuit builds its
 own :class:`repro.core.builtin_gen.BuiltinGenerator` with its own
 ``random.Random(rng_seed)`` stream, so rows share no mutable state and
 their results are independent of scheduling.  This module provides the
-process-pool plumbing:
+campaign plumbing:
 
 * :class:`ExperimentTask` -- one picklable unit of work (a module-level
-  function plus keyword arguments), labelled by a stable ``key``;
-* :func:`run_tasks` -- execute tasks inline (``jobs <= 1``) or across a
-  :class:`concurrent.futures.ProcessPoolExecutor`, always returning
-  results **in task order** (``ProcessPoolExecutor.map`` preserves input
-  order), so ``jobs=N`` output equals ``jobs=1`` output exactly;
+  function plus keyword arguments), labelled by a stable ``key`` and
+  optionally carrying its own ``timeout_s`` / ``max_retries``;
+* :func:`run_tasks` -- execute tasks inline (``jobs <= 1``) or across the
+  self-healing pool (:mod:`repro.resilience.pool`), always returning
+  results **in task order**, so ``jobs=N`` output equals ``jobs=1``
+  output exactly;
 * :func:`derive_seed` -- a per-task RNG seed derived from a base seed and
   the task key, stable across runs, task orderings, and worker counts.
+
+Resilience (see :mod:`repro.resilience`): a crashed or hung worker is
+killed and respawned, the task is retried with the *same* kwargs (same
+derived seed, so a recovered row is byte-identical to an unfailed one)
+under a deterministic exponential backoff, and a task that exhausts its
+retry budget degrades to a typed
+:class:`repro.resilience.policy.TaskFailure` in its slot of the results
+list -- the campaign itself never aborts mid-run.  Passing a
+:class:`repro.resilience.checkpoint.CheckpointJournal` journals every
+completed row (with its obs snapshot) the moment it finishes; rows
+already journaled are skipped and their results (and snapshots) replayed,
+which is what ``repro-eda table --checkpoint FILE --resume`` rides on.
 
 Workers receive circuit *names*, not circuit objects: each process loads
 and compiles its own copy, which keeps task payloads small and sidesteps
@@ -25,20 +38,27 @@ each worker enables its own (fresh, process-local) registry, runs its
 task under a ``runner.task`` span, and ships the registry snapshot back
 alongside the result; the parent merges every snapshot into its registry
 (events tagged with the task key), so ``repro-eda table --stats --jobs N``
-reports one coherent story regardless of ``N``.  A ``progress`` callback
-fires after each completed task -- in task order, which is also pool
-completion order under ``ProcessPoolExecutor.map``'s in-order delivery --
-and backs the per-row progress lines of ``repro-eda table``.
+reports one coherent story regardless of ``N``.  Retries, timeouts,
+worker crashes/respawns, failures, and resumed rows surface as
+``runner.*`` counters plus a ``runner.retry`` span per retry decision.
+A ``progress`` callback fires per task in task order as the completed
+prefix grows, backing the per-row progress lines of ``repro-eda table``.
 """
 
 from __future__ import annotations
 
+import time
 import zlib
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Sequence
 
 from repro import obs
+from repro.resilience import faultpoints
+from repro.resilience.checkpoint import CheckpointJournal
+from repro.resilience.deadline import clear_task_deadline, set_task_deadline
+from repro.resilience.policy import KIND_ERROR, RetryPolicy, TaskFailure
+
+_PENDING = object()  # results-slot sentinel: not yet resolved
 
 
 @dataclass(frozen=True)
@@ -47,13 +67,17 @@ class ExperimentTask:
 
     ``fn`` must be a module-level function and ``kwargs`` picklable -- the
     requirements of process-pool dispatch.  ``key`` names the task for
-    seed derivation, diagnostics, progress lines, and merged-trace
-    attribution.
+    seed derivation, diagnostics, progress lines, checkpoint rows, and
+    merged-trace attribution.  ``timeout_s`` / ``max_retries`` override
+    the campaign :class:`repro.resilience.policy.RetryPolicy` for this
+    task alone (``None`` defers to the policy).
     """
 
     key: str
     fn: Callable[..., Any]
     kwargs: Mapping[str, Any] = field(default_factory=dict)
+    timeout_s: float | None = None
+    max_retries: int | None = None
 
 
 def derive_seed(base_seed: int, key: str) -> int:
@@ -61,7 +85,8 @@ def derive_seed(base_seed: int, key: str) -> int:
 
     Mixes the base seed with a CRC-32 of the task key so tasks get
     distinct streams, while any given ``(base_seed, key)`` pair maps to
-    the same seed regardless of task order or ``jobs``.
+    the same seed regardless of task order or ``jobs``.  Retries reuse
+    the task's kwargs untouched, so a retried task sees this same seed.
     """
     mixed = (base_seed * 0x10001 + zlib.crc32(key.encode("utf-8"))) % (2**31 - 1)
     return mixed or 1
@@ -71,64 +96,130 @@ def _call(task: ExperimentTask) -> Any:
     return task.fn(**dict(task.kwargs))
 
 
-def _call_observed(task: ExperimentTask) -> tuple[Any, dict[str, Any]]:
-    """Worker-side wrapper: run the task with a fresh enabled registry.
-
-    Returns ``(result, snapshot)``; the snapshot is a plain-dict
-    :meth:`repro.obs.registry.MetricsRegistry.snapshot` the parent merges.
-    Workers start with a pristine registry (fresh process or reset here),
-    so a snapshot contains exactly this task's metrics.
-    """
-    obs.reset()
-    obs.enable()
-    with obs.span("runner.task", key=task.key):
-        result = task.fn(**dict(task.kwargs))
-    return result, obs.snapshot()
-
-
 def run_tasks(
     tasks: Sequence[ExperimentTask],
     jobs: int | None = None,
     progress: Callable[[int, ExperimentTask], None] | None = None,
+    policy: RetryPolicy | None = None,
+    checkpoint: CheckpointJournal | None = None,
 ) -> list[Any]:
-    """Run every task; returns results in task order.
+    """Run every task; returns results (or ``TaskFailure``s) in task order.
 
-    ``jobs`` of ``None``, 0, or 1 (or a single task) runs inline in this
-    process -- no pool, no pickling, identical to calling the functions
-    directly.  Larger ``jobs`` fans out over a process pool capped at the
-    task count.  Because each task is self-contained and results are
-    collected in input order, the returned list is byte-for-byte the same
-    for every ``jobs`` value.
+    ``jobs`` of ``None``, 0, or 1 (or a single runnable task) runs inline
+    in this process -- no pool, no pickling.  Larger ``jobs`` fans out
+    over the self-healing worker pool, capped at the task count.
+    Negative ``jobs`` is rejected with a ``ValueError``.  Because each
+    task is self-contained and results are collected in input order, the
+    returned list is byte-for-byte the same for every ``jobs`` value.
 
-    ``progress(index, task)`` is invoked after each task completes (in
-    task order).  With the parent registry enabled, pool workers record
-    into their own registries and the snapshots are merged back here; the
-    inline path records straight into the parent registry.
+    ``policy`` supplies campaign-wide deadline/retry/backoff defaults
+    (per-task fields override it); ``checkpoint`` journals completed rows
+    and replays rows the journal already holds.  ``progress(index, task)``
+    is invoked per task in task order as the completed prefix grows.
     """
     tasks = list(tasks)
+    if jobs is not None and int(jobs) < 0:
+        raise ValueError(
+            f"jobs must be a non-negative worker count, got {jobs!r}"
+        )
     n_jobs = int(jobs or 1)
-    if n_jobs <= 1 or len(tasks) <= 1:
-        results = []
-        for i, task in enumerate(tasks):
-            with obs.span("runner.task", key=task.key):
-                results.append(_call(task))
-            obs.count("runner.tasks_completed")
+    policy = policy or RetryPolicy()
+    results: list[Any] = [_PENDING] * len(tasks)
+    pending: list[int] = []
+    for i, task in enumerate(tasks):
+        if checkpoint is not None and checkpoint.has(task.key):
+            results[i] = checkpoint.result(task.key)
+            snap = checkpoint.snapshot(task.key)
+            if snap is not None and obs.enabled():
+                obs.merge(snap, task=task.key)
+            obs.count("runner.tasks_resumed")
+        else:
+            pending.append(i)
+
+    emitted = 0
+
+    def emit_progress() -> None:
+        """Fire ``progress`` for the resolved prefix, in task order."""
+        nonlocal emitted
+        while emitted < len(results) and results[emitted] is not _PENDING:
             if progress is not None:
-                progress(i, task)
+                progress(emitted, tasks[emitted])
+            emitted += 1
+
+    emit_progress()
+    if not pending:
         return results
+
+    if n_jobs <= 1 or len(pending) <= 1:
+        for i in pending:
+            results[i] = _run_inline(tasks[i], policy, checkpoint)
+            emit_progress()
+        return results
+
     collect = obs.enabled()
-    fn = _call_observed if collect else _call
-    results = []
-    with ProcessPoolExecutor(max_workers=min(n_jobs, len(tasks))) as pool:
-        for i, item in enumerate(pool.map(fn, tasks)):
-            if collect:
-                result, snap = item
-                obs.merge(snap, task=tasks[i].key)
-                obs.count("runner.worker_registries_merged")
-                results.append(result)
-            else:
-                results.append(item)
-            obs.count("runner.tasks_completed")
-            if progress is not None:
-                progress(i, tasks[i])
+
+    def on_complete(index: int, outcome: Any, snapshot: dict | None) -> None:
+        if isinstance(outcome, TaskFailure):
+            return
+        if collect and snapshot is not None:
+            obs.merge(snapshot, task=tasks[index].key)
+            obs.count("runner.worker_registries_merged")
+        obs.count("runner.tasks_completed")
+        if checkpoint is not None:
+            checkpoint.record(tasks[index].key, outcome, snapshot=snapshot)
+
+    from repro.resilience.pool import SelfHealingPool
+
+    pool = SelfHealingPool(
+        tasks, n_workers=min(n_jobs, len(pending)), policy=policy, collect=collect
+    )
+    outcomes = pool.run(pending, on_complete)
+    for i in pending:
+        results[i] = outcomes[i]
+    emit_progress()
     return results
+
+
+def _run_inline(
+    task: ExperimentTask,
+    policy: RetryPolicy,
+    checkpoint: CheckpointJournal | None,
+) -> Any:
+    """One task in this process, with the same retry/degradation contract.
+
+    A deadline cannot be enforced preemptively without a worker process
+    to kill, but it is still published (:mod:`repro.resilience.deadline`)
+    so budget-aware inner loops stop in time; exceptions are retried
+    under the policy's backoff and degrade to ``TaskFailure``.
+    """
+    started = time.monotonic()
+    attempt = 0
+    while True:
+        set_task_deadline(policy.effective_timeout(task.timeout_s))
+        try:
+            with obs.span("runner.task", key=task.key, attempt=attempt):
+                faultpoints.check("runner.task", task.key, attempt)
+                value = _call(task)
+        except Exception as exc:
+            clear_task_deadline()
+            if attempt >= policy.effective_retries(task.max_retries):
+                obs.count("runner.task_failures")
+                return TaskFailure(
+                    key=task.key,
+                    kind=KIND_ERROR,
+                    message=f"{type(exc).__name__}: {exc}",
+                    attempts=attempt + 1,
+                    elapsed_s=round(time.monotonic() - started, 3),
+                )
+            obs.count("runner.retries")
+            with obs.span(
+                "runner.retry", key=task.key, attempt=attempt + 1, cause=KIND_ERROR
+            ):
+                time.sleep(policy.backoff_s(attempt))
+            attempt += 1
+            continue
+        clear_task_deadline()
+        obs.count("runner.tasks_completed")
+        if checkpoint is not None:
+            checkpoint.record(task.key, value)
+        return value

@@ -27,10 +27,12 @@ from repro.circuits.scan import ScanChains
 from repro.core.builtin_gen import BuiltinGenConfig, BuiltinGenerator, BuiltinGenResult
 from repro.core.embedded import compose, estimate_swa_func
 from repro.core.state_holding import HoldingRunResult, run_with_state_holding
-from repro.experiments.format import render
+from repro.experiments.format import failure_row, render
 from repro.experiments.runner import ExperimentTask, run_tasks
 from repro.faults.collapse import collapsed_transition_faults
 from repro.logic.simulator import simulate_sequence
+from repro.resilience.checkpoint import CheckpointJournal, fingerprint_of
+from repro.resilience.policy import RetryPolicy, TaskFailure
 
 #: Default embedded-block suite (scaled stand-ins for Table 4.2's list).
 CHAPTER4_TARGETS = ("s298", "s344", "s386", "s526")
@@ -220,6 +222,14 @@ def _table_4_3_target(
     return cases
 
 
+#: Table 4.3 column order (fixed so degraded tables render without any row).
+TABLE_4_3_COLUMNS = (
+    "Circuit", "Lsc", "Driving block", "Nmulti", "Nsegmax", "Lmax",
+    "SWAfunc %", "Nseeds", "Ntests", "SWA %", "FC %",
+    "HW Area (um2)", "Area Over. %",
+)
+
+
 def run_table_4_3(
     targets: Sequence[str] = CHAPTER4_TARGETS,
     drivers: Sequence[str] = CHAPTER4_DRIVERS,
@@ -228,16 +238,42 @@ def run_table_4_3(
     func_length: int = 120,
     jobs: int | None = None,
     progress: Callable[[int, ExperimentTask], None] | None = None,
-) -> list[Table43Case]:
+    timeout_s: float | None = None,
+    max_retries: int | None = None,
+    policy: RetryPolicy | None = None,
+    checkpoint_path: str | None = None,
+    resume: bool = False,
+) -> list[Table43Case | TaskFailure]:
     """Run Table 4.3: per target, ``buffers`` + highest/lowest-SWA drivers.
 
-    ``jobs > 1`` fans the per-target work across a process pool; every
-    target builds its own generator and RNG stream, so the returned cases
-    are identical for any ``jobs`` value (same order, same contents).
-    ``progress`` is forwarded to :func:`repro.experiments.runner.run_tasks`
-    and fires once per completed target.
+    ``jobs > 1`` fans the per-target work across the self-healing worker
+    pool; every target builds its own generator and RNG stream, so the
+    returned cases are identical for any ``jobs`` value (same order, same
+    contents).  ``timeout_s`` / ``max_retries`` bound each target row; a
+    row that exhausts its retries comes back as a
+    :class:`repro.resilience.policy.TaskFailure` in its slot instead of
+    aborting the campaign.  ``checkpoint_path`` journals completed rows
+    (``repro-resume-v1``, fingerprinted by this function's parameters);
+    ``resume=True`` skips rows the journal already holds.  ``progress``
+    is forwarded to :func:`repro.experiments.runner.run_tasks` and fires
+    once per completed target.
     """
     config = config or BuiltinGenConfig(segment_length=150, time_limit=20)
+    checkpoint = None
+    if checkpoint_path:
+        fingerprint = fingerprint_of(
+            {
+                "table": "4.3",
+                "targets": tuple(targets),
+                "drivers": tuple(drivers),
+                "config": config,
+                "n_sequences": n_sequences,
+                "func_length": func_length,
+            }
+        )
+        checkpoint = CheckpointJournal.open(
+            checkpoint_path, fingerprint=fingerprint, resume=resume
+        )
     tasks = [
         ExperimentTask(
             key=f"table4.3/{target_name}",
@@ -249,20 +285,40 @@ def run_table_4_3(
                 "n_sequences": n_sequences,
                 "func_length": func_length,
             },
+            timeout_s=timeout_s,
+            max_retries=max_retries,
         )
         for target_name in targets
     ]
-    groups = run_tasks(tasks, jobs=jobs, progress=progress)
-    return [case for group in groups for case in group]
+    groups = run_tasks(
+        tasks, jobs=jobs, progress=progress, policy=policy, checkpoint=checkpoint
+    )
+    cases: list[Table43Case | TaskFailure] = []
+    for group in groups:
+        if isinstance(group, TaskFailure):
+            cases.append(group)
+        else:
+            cases.extend(group)
+    return cases
 
 
-def render_table_4_3(cases: Sequence[Table43Case]) -> str:
-    """Render Table 4.3."""
-    rows = [c.row() for c in cases]
+def render_table_4_3(cases: Sequence[Table43Case | TaskFailure]) -> str:
+    """Render Table 4.3; failed rows degrade to dashes plus an annotation."""
+    columns = list(TABLE_4_3_COLUMNS)
+    rows: list[dict] = []
+    annotations: list[str] = []
+    for case in cases:
+        if isinstance(case, TaskFailure):
+            label = case.key.rsplit("/", 1)[-1]
+            rows.append(failure_row(columns, label))
+            annotations.append(f"{label}: {case.describe()}")
+        else:
+            rows.append(case.row())
     return render(
         "Table 4.3  Built-in test generation considering primary input constraints",
-        list(rows[0].keys()) if rows else ["Circuit"],
+        columns,
         rows,
+        annotations=annotations,
         note="buffers = unconstrained primary inputs (no SWA bound)",
     )
 
@@ -322,19 +378,33 @@ def _table_4_4_case(
     return Table44Case(base=case, holding=holding, total_faults=len(faults))
 
 
+#: Table 4.4 column order (fixed so degraded tables render without any row).
+TABLE_4_4_COLUMNS = (
+    "Circuit", "Driving block", "Nh", "Nbits", "Nmulti", "Nsegmax", "Lmax",
+    "Nseeds", "Ntests", "SWA %", "FC Imp. %", "Final FC %",
+    "HW Area (um2)", "Area Over. %",
+)
+
+
 def run_table_4_4(
-    cases: Sequence[Table43Case],
+    cases: Sequence[Table43Case | TaskFailure],
     fc_threshold: float = 90.0,
     tree_height: int = 2,
     config: BuiltinGenConfig | None = None,
     jobs: int | None = None,
     progress: Callable[[int, ExperimentTask], None] | None = None,
-) -> list[Table44Case]:
+    timeout_s: float | None = None,
+    max_retries: int | None = None,
+    policy: RetryPolicy | None = None,
+) -> list[Table44Case | TaskFailure]:
     """Run state holding for every Table 4.3 case below the FC threshold.
 
     Like :func:`run_table_4_3`, ``jobs`` only changes the wall clock:
     each eligible case is an independent task and results come back in
-    case order; ``progress`` fires once per completed case.
+    case order; ``progress`` fires once per completed case.  Failed
+    Table 4.3 rows (``TaskFailure``) have no base result to improve and
+    are skipped; Table 4.4 rows that exhaust their own retries degrade
+    to ``TaskFailure`` in place.
     """
     config = config or BuiltinGenConfig(segment_length=150, time_limit=15)
     tasks = [
@@ -342,18 +412,30 @@ def run_table_4_4(
             key=f"table4.4/{case.target}/{case.driver}",
             fn=_table_4_4_case,
             kwargs={"case": case, "tree_height": tree_height, "config": config},
+            timeout_s=timeout_s,
+            max_retries=max_retries,
         )
         for case in cases
-        if case.result.coverage < fc_threshold
+        if isinstance(case, Table43Case) and case.result.coverage < fc_threshold
     ]
-    return run_tasks(tasks, jobs=jobs, progress=progress)
+    return run_tasks(tasks, jobs=jobs, progress=progress, policy=policy)
 
 
-def render_table_4_4(cases: Sequence[Table44Case]) -> str:
-    """Render Table 4.4."""
-    rows = [c.row() for c in cases]
+def render_table_4_4(cases: Sequence[Table44Case | TaskFailure]) -> str:
+    """Render Table 4.4; failed rows degrade to dashes plus an annotation."""
+    columns = list(TABLE_4_4_COLUMNS)
+    rows: list[dict] = []
+    annotations: list[str] = []
+    for case in cases:
+        if isinstance(case, TaskFailure):
+            label = case.key.split("/", 1)[-1]
+            rows.append(failure_row(columns, label))
+            annotations.append(f"{label}: {case.describe()}")
+        else:
+            rows.append(case.row())
     return render(
         "Table 4.4  Built-in test generation with state holding",
-        list(rows[0].keys()) if rows else ["Circuit"],
+        columns,
         rows,
+        annotations=annotations,
     )

@@ -15,6 +15,12 @@ possibly merged from many worker processes) into the report printed by
   curated layout does not know about, so new counters surface without a
   formatter change.
 
+The "experiment runner" section also carries the resilience story of a
+campaign (:mod:`repro.resilience`): ``runner.retries``,
+``runner.timeouts``, ``runner.worker_crashes`` / ``runner.worker_respawns``,
+``runner.task_failures``, and ``runner.tasks_resumed`` land there by
+prefix, next to ``runner.tasks_completed``.
+
 The formatter is read-only and stdlib-only; golden-string tests pin the
 layout (``tests/test_obs.py``).
 """

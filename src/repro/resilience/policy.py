@@ -1,0 +1,73 @@
+"""Retry policy and typed task-failure records.
+
+A campaign row can fail three ways -- its worker process dies
+(``crash``), it outlives its deadline and is killed by the watchdog
+(``timeout``), or it raises (``error``).  :class:`RetryPolicy` decides
+how many further attempts each failure buys and how long to wait between
+them; :class:`TaskFailure` is what a row degrades to once the budget is
+spent, carrying enough context for the table renderers to annotate the
+row and for the CLI to print an end-of-run summary.
+
+Determinism: the backoff schedule is a pure function of the attempt
+number (no jitter), and a retried task re-runs with the *same* kwargs --
+including any seed derived from its key -- so a retry that succeeds
+produces a row byte-identical to a run that never failed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Failure kinds recorded on :class:`TaskFailure`.
+KIND_CRASH = "crash"
+KIND_TIMEOUT = "timeout"
+KIND_ERROR = "error"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Campaign-wide defaults for deadlines, retries, and backoff.
+
+    Per-task ``timeout_s`` / ``max_retries`` on
+    :class:`repro.experiments.runner.ExperimentTask` override these; the
+    policy fills in whatever the task leaves ``None``.
+    """
+
+    max_retries: int = 2  # further attempts after the first failure
+    timeout_s: float | None = None  # per-attempt deadline (None = unbounded)
+    backoff_base_s: float = 0.05  # delay before the first retry
+    backoff_factor: float = 2.0  # growth per subsequent retry
+    backoff_cap_s: float = 2.0  # upper bound on any single delay
+
+    def backoff_s(self, attempt: int) -> float:
+        """Deterministic delay before retrying after failure ``attempt`` (0-based)."""
+        return min(self.backoff_cap_s, self.backoff_base_s * self.backoff_factor**attempt)
+
+    def effective_timeout(self, task_timeout: float | None) -> float | None:
+        """The deadline for one attempt: the task's own, else the policy's."""
+        return task_timeout if task_timeout is not None else self.timeout_s
+
+    def effective_retries(self, task_retries: int | None) -> int:
+        """The retry budget for a task: its own, else the policy's."""
+        return task_retries if task_retries is not None else self.max_retries
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """A row that exhausted its retries; takes the result's slot in the list.
+
+    ``attempts`` counts every try (first run plus retries); ``kind`` is
+    the failure class of the *last* attempt (``crash`` / ``timeout`` /
+    ``error``); ``message`` carries the last error text for diagnostics.
+    """
+
+    key: str
+    kind: str
+    message: str
+    attempts: int
+    elapsed_s: float = 0.0
+
+    def describe(self) -> str:
+        """The table annotation, e.g. ``FAILED: timeout after 3 tries``."""
+        tries = "1 try" if self.attempts == 1 else f"{self.attempts} tries"
+        return f"FAILED: {self.kind} after {tries}"

@@ -1,10 +1,15 @@
 """Tests for the .bench reader/writer."""
 
+from pathlib import Path
+
 import pytest
 
 from repro.circuits import bench
+from repro.circuits.bench import BenchParseError
 from repro.circuits.benchmarks import S27_BENCH
 from repro.circuits.netlist import NetlistError
+
+FIXTURES = Path(__file__).parent / "fixtures"
 
 
 class TestParse:
@@ -35,6 +40,45 @@ class TestParse:
     def test_unknown_gate(self):
         with pytest.raises(ValueError):
             bench.loads("INPUT(a)\nn = MAJ3(a, a, a)\n")
+
+
+class TestDiagnostics:
+    """Corrupt inputs raise BenchParseError carrying file name + line number."""
+
+    def test_bad_line_locates_file_and_line(self):
+        with pytest.raises(BenchParseError, match=r"bad_line:3: cannot parse"):
+            bench.load(FIXTURES / "bad_line.bench")
+
+    def test_duplicate_reports_both_lines(self):
+        with pytest.raises(
+            BenchParseError,
+            match=r"duplicate_signal:5: duplicate definition of 'g' "
+            r"\(first defined at line 4\)",
+        ):
+            bench.load(FIXTURES / "duplicate_signal.bench")
+
+    def test_undefined_signal_locates_the_use(self):
+        with pytest.raises(
+            BenchParseError,
+            match=r"undefined_signal:4: gate n reads undefined signal 'ghost'",
+        ):
+            bench.load(FIXTURES / "undefined_signal.bench")
+
+    def test_unknown_gate_locates_line(self):
+        with pytest.raises(BenchParseError, match=r"unknown_gate:6: .*MAJ3"):
+            bench.load(FIXTURES / "unknown_gate.bench")
+
+    def test_duplicate_input_declaration(self):
+        with pytest.raises(BenchParseError, match=r"bench:2: duplicate definition"):
+            bench.loads("INPUT(a)\nINPUT(a)\n")
+
+    def test_dff_arity_locates_line(self):
+        with pytest.raises(BenchParseError, match=r"bench:2: DFF takes one input"):
+            bench.loads("INPUT(a)\nq = DFF(a, a)\n")
+
+    def test_parse_errors_are_netlist_errors(self):
+        """Callers catching the old NetlistError keep working."""
+        assert issubclass(BenchParseError, NetlistError)
 
 
 class TestRoundTrip:

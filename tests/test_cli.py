@@ -72,6 +72,25 @@ class TestCommands:
         )
         assert args.quiet and args.stats and args.trace == "t.jsonl"
 
+    def test_table_resilience_flags(self):
+        args = build_parser().parse_args(
+            [
+                "table", "4.3", "--timeout", "30", "--retries", "1",
+                "--checkpoint", "ck.jsonl", "--resume",
+            ]
+        )
+        assert args.timeout == 30.0
+        assert args.retries == 1
+        assert args.checkpoint == "ck.jsonl"
+        assert args.resume
+        defaults = build_parser().parse_args(["table", "4.3"])
+        assert defaults.timeout is None and defaults.retries is None
+        assert defaults.checkpoint is None and not defaults.resume
+
+    def test_table_resume_requires_checkpoint(self, capsys):
+        assert main(["table", "4.3", "--resume"]) == 2
+        assert "--resume requires --checkpoint" in capsys.readouterr().err
+
 
 class TestObservabilityCommands:
     @pytest.fixture(autouse=True)

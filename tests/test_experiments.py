@@ -142,6 +142,12 @@ class TestRunner:
         tasks = [ExperimentTask(key="one", fn=_square, kwargs={"x": 4})]
         assert run_tasks(tasks, jobs=None) == [16]
 
+    def test_negative_jobs_rejected(self):
+        """Negative jobs used to silently run inline; now it is an error."""
+        tasks = [ExperimentTask(key="one", fn=_square, kwargs={"x": 4})]
+        with pytest.raises(ValueError, match=r"-2"):
+            run_tasks(tasks, jobs=-2)
+
     def test_derive_seed_stable_and_distinct(self):
         a = derive_seed(5, "table4.3/s298")
         assert a == derive_seed(5, "table4.3/s298")

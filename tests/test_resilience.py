@@ -1,0 +1,227 @@
+"""Unit tests for the resilience layer: policy, faults, checkpoints, deadlines."""
+
+import json
+import time
+
+import pytest
+
+from repro.resilience import faultpoints
+from repro.resilience.checkpoint import (
+    CheckpointError,
+    CheckpointJournal,
+    RESUME_SCHEMA,
+    fingerprint_of,
+)
+from repro.resilience.deadline import (
+    clamp_budget,
+    clear_task_deadline,
+    remaining_budget,
+    set_task_deadline,
+    task_deadline,
+)
+from repro.resilience.faultpoints import FaultSpec, InjectedFault
+from repro.resilience.policy import RetryPolicy, TaskFailure
+
+
+@pytest.fixture(autouse=True)
+def _clean_state():
+    faultpoints.install(None)
+    clear_task_deadline()
+    yield
+    faultpoints.install(None)
+    clear_task_deadline()
+
+
+class TestRetryPolicy:
+    def test_backoff_schedule_is_deterministic_and_capped(self):
+        p = RetryPolicy(backoff_base_s=0.05, backoff_factor=2.0, backoff_cap_s=2.0)
+        assert p.backoff_s(0) == pytest.approx(0.05)
+        assert p.backoff_s(1) == pytest.approx(0.10)
+        assert p.backoff_s(2) == pytest.approx(0.20)
+        assert p.backoff_s(10) == 2.0  # capped
+        assert [p.backoff_s(i) for i in range(4)] == [
+            p.backoff_s(i) for i in range(4)
+        ]
+
+    def test_task_overrides_win(self):
+        p = RetryPolicy(max_retries=2, timeout_s=30.0)
+        assert p.effective_timeout(None) == 30.0
+        assert p.effective_timeout(5.0) == 5.0
+        assert p.effective_retries(None) == 2
+        assert p.effective_retries(0) == 0
+
+    def test_failure_describe(self):
+        f = TaskFailure(key="t/x", kind="timeout", message="m", attempts=3)
+        assert f.describe() == "FAILED: timeout after 3 tries"
+        one = TaskFailure(key="t/x", kind="crash", message="m", attempts=1)
+        assert one.describe() == "FAILED: crash after 1 try"
+
+
+class TestFaultpoints:
+    def test_parse_triples(self):
+        specs = faultpoints.parse("runner.task:s298:crash_once, a:b:flaky3")
+        assert specs == [
+            FaultSpec(point="runner.task", key="s298", mode="crash_once"),
+            FaultSpec(point="a", key="b", mode="flaky3"),
+        ]
+
+    def test_parse_rejects_bad_shape(self):
+        with pytest.raises(ValueError, match="nocolons"):
+            faultpoints.parse("nocolons")
+
+    def test_parse_rejects_bad_mode(self):
+        with pytest.raises(ValueError, match="explode"):
+            faultpoints.parse("runner.task:s298:explode")
+
+    def test_error_mode_raises_every_attempt(self):
+        faultpoints.install("p:key:error")
+        for attempt in (0, 1, 5):
+            with pytest.raises(InjectedFault):
+                faultpoints.check("p", "task/key", attempt)
+
+    def test_once_modes_fire_only_on_first_attempt(self):
+        faultpoints.install("p:key:error_once")
+        with pytest.raises(InjectedFault):
+            faultpoints.check("p", "task/key", 0)
+        faultpoints.check("p", "task/key", 1)  # retry succeeds
+
+    def test_flaky_fires_first_n_attempts(self):
+        faultpoints.install("p:key:flaky2")
+        for attempt in (0, 1):
+            with pytest.raises(InjectedFault):
+                faultpoints.check("p", "task/key", attempt)
+        faultpoints.check("p", "task/key", 2)
+
+    def test_point_and_key_must_match(self):
+        faultpoints.install("p:s298:error")
+        faultpoints.check("other.point", "s298", 0)
+        faultpoints.check("p", "s344", 0)
+        with pytest.raises(InjectedFault):
+            faultpoints.check("p", "table4.3/s298", 0)
+
+    def test_inline_crash_raises_instead_of_exiting(self):
+        faultpoints.install("p:key:crash")
+        with pytest.raises(InjectedFault):
+            faultpoints.check("p", "key", 0, in_worker=False)
+
+    def test_install_none_disarms(self):
+        faultpoints.install("p:key:error")
+        faultpoints.install(None)
+        faultpoints.check("p", "key", 0)
+        assert faultpoints.active_spec() is None
+
+    def test_active_spec_round_trips(self):
+        faultpoints.install("p:key:flaky2,q:r:hang_once")
+        assert faultpoints.parse(faultpoints.active_spec()) == faultpoints.parse(
+            "p:key:flaky2,q:r:hang_once"
+        )
+
+
+class TestFingerprint:
+    def test_stable_across_dict_ordering(self):
+        a = fingerprint_of({"targets": ("s27",), "config": {"x": 1, "y": 2}})
+        b = fingerprint_of({"config": {"y": 2, "x": 1}, "targets": ("s27",)})
+        assert a == b
+
+    def test_distinct_across_params(self):
+        a = fingerprint_of({"targets": ("s27",)})
+        b = fingerprint_of({"targets": ("s298",)})
+        assert a != b
+
+    def test_handles_dataclasses(self):
+        assert fingerprint_of(RetryPolicy()) == fingerprint_of(RetryPolicy())
+        assert fingerprint_of(RetryPolicy()) != fingerprint_of(
+            RetryPolicy(max_retries=9)
+        )
+
+
+class TestCheckpointJournal:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        fp = fingerprint_of({"t": 1})
+        j = CheckpointJournal.open(path, fingerprint=fp)
+        j.record("row/a", {"value": 41}, snapshot={"counters": {"c": 1}})
+        j2 = CheckpointJournal.open(path, fingerprint=fp, resume=True)
+        assert j2.has("row/a") and not j2.has("row/b")
+        assert j2.result("row/a") == {"value": 41}
+        assert j2.snapshot("row/a") == {"counters": {"c": 1}}
+        assert len(j2) == 1
+
+    def test_fingerprint_mismatch_refuses_resume(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        CheckpointJournal.open(path, fingerprint="aaaa").record("k", 1)
+        with pytest.raises(CheckpointError, match="different campaign"):
+            CheckpointJournal.open(path, fingerprint="bbbb", resume=True)
+
+    def test_truncated_tail_is_dropped(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        fp = "feedbeef"
+        j = CheckpointJournal.open(path, fingerprint=fp)
+        j.record("row/a", 1)
+        j.record("row/b", 2)
+        # Simulate a kill mid-write: chop the final line in half.
+        text = path.read_text()
+        path.write_text(text[: len(text) - 20])
+        j2 = CheckpointJournal.open(path, fingerprint=fp, resume=True)
+        assert j2.has("row/a") and not j2.has("row/b")
+
+    def test_resume_false_truncates(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        CheckpointJournal.open(path, fingerprint="aaaa").record("k", 1)
+        j = CheckpointJournal.open(path, fingerprint="aaaa", resume=False)
+        assert not j.has("k")
+        assert len(path.read_text().splitlines()) == 1  # header only
+
+    def test_header_carries_schema(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        CheckpointJournal.open(path, fingerprint="aaaa")
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header == {"schema": RESUME_SCHEMA, "fingerprint": "aaaa"}
+
+    def test_non_journal_file_rejected(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        path.write_text("this is not json\n")
+        with pytest.raises(CheckpointError, match="bad header"):
+            CheckpointJournal.open(path, fingerprint="aaaa", resume=True)
+
+
+class TestDeadline:
+    def test_unset_means_unbounded(self):
+        assert task_deadline() is None
+        assert remaining_budget() is None
+        assert clamp_budget(4.0) == 4.0
+        assert clamp_budget(None) is None
+
+    def test_set_and_clamp(self):
+        set_task_deadline(100.0)
+        assert task_deadline() is not None
+        left = remaining_budget()
+        assert 99.0 < left <= 100.0
+        assert clamp_budget(4.0) == 4.0  # own limit is tighter
+        assert clamp_budget(None) == pytest.approx(left, abs=1.0)
+        set_task_deadline(0.001)
+        time.sleep(0.01)
+        assert remaining_budget() == 0.0
+        assert clamp_budget(4.0) == 0.0  # budget exhausted
+
+    def test_clear(self):
+        set_task_deadline(5.0)
+        clear_task_deadline()
+        assert task_deadline() is None
+
+    def test_builtin_gen_clamps_to_task_budget(self):
+        """An exhausted task budget stops the Fig 4.9 loop immediately."""
+        from repro.circuits.benchmarks import get_circuit
+        from repro.core.builtin_gen import BuiltinGenConfig, BuiltinGenerator
+        from repro.faults.collapse import collapsed_transition_faults
+
+        circuit = get_circuit("s27")
+        faults = collapsed_transition_faults(circuit)
+        set_task_deadline(0.0001)
+        time.sleep(0.01)
+        t0 = time.monotonic()
+        result = BuiltinGenerator(
+            circuit, faults, None, config=BuiltinGenConfig(segment_length=40)
+        ).run()
+        assert time.monotonic() - t0 < 5.0
+        assert result.n_seeds == 0  # no segment fit in the spent budget
