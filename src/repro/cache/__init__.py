@@ -1,0 +1,89 @@
+"""``repro.cache`` -- persistent warm-start artifacts across processes.
+
+Compiling a circuit to its IR, exec-building its word kernel, and
+collapsing its transition-fault list are pure functions of the netlist
+(plus the code doing the work), yet every fresh process -- each campaign
+run, each pool worker -- pays for them again.  This package persists the
+three artifacts on disk, keyed by a content hash of the ``.bench``
+netlist + technology library + code version, so the second run of any
+campaign skips lowering and collapse entirely
+(:class:`repro.cache.store.ArtifactCache` documents the on-disk layout
+and the atomicity/corruption contract).
+
+Activation is process-wide and opt-in:
+
+* ``repro-eda ... --cache-dir DIR`` (which also exports the variable so
+  pool workers inherit it), or
+* the ``REPRO_CACHE_DIR`` environment variable, or
+* :func:`configure` from code.
+
+With neither set, :func:`active` returns ``None`` and every consumer
+(:func:`repro.core.compiled.compile_circuit`,
+:func:`repro.faults.collapse.collapsed_transition_faults`, the word-kernel
+builder) behaves exactly as before -- the cache is a pure accelerator and
+never changes results.  ``repro-eda cache {stats,clear}`` inspects and
+empties a cache directory.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.cache.store import (
+    ARTIFACT_SCHEMA,
+    KINDS,
+    ArtifactCache,
+    circuit_key,
+    code_fingerprint,
+)
+
+__all__ = [
+    "ARTIFACT_SCHEMA",
+    "KINDS",
+    "ArtifactCache",
+    "ENV_VAR",
+    "active",
+    "circuit_key",
+    "code_fingerprint",
+    "configure",
+    "reset",
+]
+
+#: Environment variable naming the cache directory (workers inherit it).
+ENV_VAR = "REPRO_CACHE_DIR"
+
+_active: ArtifactCache | None = None
+_resolved = False
+
+
+def configure(root: str | os.PathLike | None) -> ArtifactCache | None:
+    """Activate an :class:`ArtifactCache` at ``root`` (``None`` deactivates).
+
+    Returns the active cache.  Overrides whatever ``REPRO_CACHE_DIR``
+    says for the rest of the process.
+    """
+    global _active, _resolved
+    _active = ArtifactCache(root) if root is not None else None
+    _resolved = True
+    return _active
+
+
+def active() -> ArtifactCache | None:
+    """The process-wide cache, or ``None`` when caching is off.
+
+    Resolved lazily on first call: an explicit :func:`configure` wins,
+    otherwise ``REPRO_CACHE_DIR`` is consulted once.
+    """
+    global _active, _resolved
+    if not _resolved:
+        root = os.environ.get(ENV_VAR)
+        _active = ArtifactCache(root) if root else None
+        _resolved = True
+    return _active
+
+
+def reset() -> None:
+    """Forget the resolved cache so the next :func:`active` re-reads the env."""
+    global _active, _resolved
+    _active = None
+    _resolved = False

@@ -22,6 +22,13 @@ render as ``FAILED`` annotations and flip the exit code to 1 *after* the
 table prints) plus ``--checkpoint FILE`` / ``--resume`` (journal
 completed rows as ``repro-resume-v1`` JSONL and skip them on rerun).
 
+Warm starts (see :mod:`repro.cache`): ``generate`` and ``table`` accept
+``--cache-dir DIR`` (equivalently ``REPRO_CACHE_DIR``) to persist
+compiled-IR schedules, word-kernel code, and collapsed fault lists across
+runs, and ``--shards N`` to grade fault shards in parallel; neither
+changes any output byte.  ``repro-eda cache {stats,clear}`` manages a
+cache directory.
+
 All output is plain text; every command is deterministic for fixed seeds.
 """
 
@@ -52,6 +59,49 @@ def _obs_finish(args: argparse.Namespace) -> None:
     if getattr(args, "stats", False):
         print()
         print(obs.render_report(obs.registry()))
+
+
+def _cache_setup(args: argparse.Namespace) -> None:
+    """Activate the artifact cache when ``--cache-dir`` asks for it.
+
+    The directory is also exported as ``REPRO_CACHE_DIR`` so worker
+    processes (``--jobs``, ``--shards``) inherit the same cache.
+    """
+    import os
+
+    from repro import cache
+
+    cache_dir = getattr(args, "cache_dir", None)
+    if cache_dir:
+        os.environ[cache.ENV_VAR] = cache_dir
+        cache.configure(cache_dir)
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.cache import ENV_VAR, KINDS, ArtifactCache
+
+    root = args.cache_dir or os.environ.get(ENV_VAR)
+    if not root:
+        print(
+            f"no cache directory: pass --cache-dir DIR or set {ENV_VAR}",
+            file=sys.stderr,
+        )
+        return 2
+    store = ArtifactCache(root)
+    if args.action == "clear":
+        removed = store.clear()
+        print(f"removed {removed} cached artifact(s) from {store.root}")
+        return 0
+    stats = store.stats()
+    print(f"artifact cache at {stats['root']}")
+    print(f"{'kind':10s} {'entries':>8s} {'bytes':>12s}")
+    for kind in KINDS:
+        info = stats["kinds"][kind]
+        print(f"{kind:10s} {info['entries']:8d} {info['bytes']:12d}")
+    print(f"{'total':10s} {stats['entries']:8d} {stats['bytes']:12d}")
+    return 0
 
 
 def _cmd_circuits(args: argparse.Namespace) -> int:
@@ -101,10 +151,14 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     from repro.faults.collapse import collapsed_transition_faults
 
     _obs_setup(args)
+    _cache_setup(args)
     target = get_circuit(args.circuit)
     faults = collapsed_transition_faults(target)
     config = BuiltinGenConfig(
-        segment_length=args.length, time_limit=args.time_limit, rng_seed=args.seed
+        segment_length=args.length,
+        time_limit=args.time_limit,
+        rng_seed=args.seed,
+        grade_shards=args.shards,
     )
     swa_func = None
     if args.driver:
@@ -189,6 +243,7 @@ def _cmd_select_paths(args: argparse.Namespace) -> int:
 
 def _cmd_table(args: argparse.Namespace) -> int:
     _obs_setup(args)
+    _cache_setup(args)
     table = args.table
     progress = None
     if args.jobs and args.jobs > 1 and not args.quiet:
@@ -229,7 +284,9 @@ def _cmd_table(args: argparse.Namespace) -> int:
             cases = run_table_4_3(
                 targets=("s27", "s298"),
                 drivers=("s344", "s953"),
-                config=BuiltinGenConfig(segment_length=120, time_limit=10),
+                config=BuiltinGenConfig(
+                    segment_length=120, time_limit=10, grade_shards=args.shards
+                ),
                 jobs=args.jobs,
                 progress=progress,
                 timeout_s=args.timeout,
@@ -245,6 +302,47 @@ def _cmd_table(args: argparse.Namespace) -> int:
         if failures:
             # Degrade late: the table above is complete minus the failed
             # rows; the nonzero exit flags the campaign as partial.
+            print(f"{len(failures)} row(s) failed:", file=sys.stderr)
+            for f in failures:
+                print(
+                    f"  {f.key}: {f.describe()} ({f.message})", file=sys.stderr
+                )
+            _obs_finish(args)
+            return 1
+    elif table == "4.4":
+        from repro.core.builtin_gen import BuiltinGenConfig
+        from repro.experiments.tables4 import (
+            render_table_4_4,
+            run_table_4_3,
+            run_table_4_4,
+        )
+        from repro.resilience import TaskFailure
+
+        config = BuiltinGenConfig(
+            segment_length=120, time_limit=10, grade_shards=args.shards
+        )
+        base = run_table_4_3(
+            targets=("s27", "s298"),
+            drivers=("s344", "s953"),
+            config=config,
+            jobs=args.jobs,
+            progress=progress,
+            timeout_s=args.timeout,
+            max_retries=args.retries,
+        )
+        held = run_table_4_4(
+            base,
+            fc_threshold=95.0,
+            tree_height=2,
+            config=config,
+            jobs=args.jobs,
+            progress=progress,
+            timeout_s=args.timeout,
+            max_retries=args.retries,
+        )
+        print(render_table_4_4(held))
+        failures = [c for c in list(base) + list(held) if isinstance(c, TaskFailure)]
+        if failures:
             print(f"{len(failures)} row(s) failed:", file=sys.stderr)
             for f in failures:
                 print(
@@ -289,17 +387,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p = sub.add_parser("info", help="circuit and TPG parameters")
-    p.add_argument("circuit")
+    p.add_argument("circuit", help="benchmark name (see `repro-eda circuits`)")
     p.set_defaults(func=_cmd_info)
 
     p = sub.add_parser("generate", help="built-in functional broadside generation")
-    p.add_argument("circuit")
+    p.add_argument("circuit", help="target circuit name (see `repro-eda circuits`)")
     p.add_argument("--driver", help="driving block name or 'buffers'")
     p.add_argument("--length", type=int, default=200, help="segment length L")
-    p.add_argument("--time-limit", type=float, default=30.0)
-    p.add_argument("--seed", type=int, default=1)
+    p.add_argument(
+        "--time-limit", type=float, default=30.0, help="generation budget in seconds"
+    )
+    p.add_argument("--seed", type=int, default=1, help="RNG seed for seed trials")
     p.add_argument("--hold", action="store_true", help="run the state-holding DFT")
-    p.add_argument("--tree-height", type=int, default=2)
+    p.add_argument(
+        "--tree-height",
+        type=int,
+        default=2,
+        help="binary-tree height for state-holding set selection",
+    )
+    p.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="fault shards graded in parallel per PPSFP pass "
+        "(results are identical for any value)",
+    )
+    p.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="persist compiled/kernel/fault artifacts under DIR "
+        "(same as REPRO_CACHE_DIR)",
+    )
     p.add_argument(
         "--stats", action="store_true", help="print the observability run report"
     )
@@ -309,18 +427,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_generate)
 
     p = sub.add_parser("tpdf", help="transition path delay fault ATPG")
-    p.add_argument("circuit")
-    p.add_argument("--max-faults", type=int, default=100)
-    p.add_argument("--time-limit", type=float, default=2.0)
+    p.add_argument("circuit", help="target circuit name (see `repro-eda circuits`)")
+    p.add_argument(
+        "--max-faults", type=int, default=100, help="cap on TPDFs to classify"
+    )
+    p.add_argument(
+        "--time-limit",
+        type=float,
+        default=2.0,
+        help="branch-and-bound budget per fault in seconds",
+    )
     p.set_defaults(func=_cmd_tpdf)
 
     p = sub.add_parser("select-paths", help="critical path selection")
-    p.add_argument("circuit")
-    p.add_argument("--n", type=int, default=6)
+    p.add_argument("circuit", help="target circuit name (see `repro-eda circuits`)")
+    p.add_argument("--n", type=int, default=6, help="paths to select initially")
     p.set_defaults(func=_cmd_select_paths)
 
     p = sub.add_parser("table", help="regenerate a paper table")
-    p.add_argument("table", help="e.g. 2.1, 3.1, 4.2, 4.3")
+    p.add_argument("table", help="e.g. 2.1, 3.1, 4.2, 4.3, 4.4")
     p.add_argument(
         "--jobs",
         type=int,
@@ -359,6 +484,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip rows already journaled in --checkpoint FILE",
     )
     p.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="fault shards graded in parallel per PPSFP pass "
+        "(results are identical for any value; table 4.3)",
+    )
+    p.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="persist compiled/kernel/fault artifacts under DIR "
+        "(same as REPRO_CACHE_DIR; workers inherit it)",
+    )
+    p.add_argument(
         "--stats",
         action="store_true",
         help="print the merged observability run report (workers included)",
@@ -367,6 +505,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", metavar="FILE", help="write the merged span trace as JSONL to FILE"
     )
     p.set_defaults(func=_cmd_table)
+
+    p = sub.add_parser("cache", help="inspect or clear the artifact cache")
+    p.add_argument("action", choices=("stats", "clear"), help="what to do")
+    p.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="cache directory (default: the REPRO_CACHE_DIR environment variable)",
+    )
+    p.set_defaults(func=_cmd_cache)
 
     p = sub.add_parser("stats", help="re-render a saved trace JSONL file")
     p.add_argument("file", help="trace file written by --trace or REPRO_TRACE")

@@ -84,10 +84,12 @@ class MultiSegmentSequence:
 
     @property
     def n_segments(self) -> int:
+        """Number of accepted segments in this sequence (``Nseg``)."""
         return len(self.segments)
 
     @property
     def longest_segment(self) -> int:
+        """Length of the longest accepted segment (``Lmax`` contribution)."""
         return max((s.length for s in self.segments), default=0)
 
 
@@ -102,6 +104,12 @@ class BuiltinGenConfig:
     one-seed-at-a-time loop for the same ``rng_seed`` (the random stream
     is rewound past speculatively drawn seeds), so batching is purely a
     throughput knob.
+
+    ``grade_shards``/``grade_jobs`` likewise are pure throughput knobs:
+    with ``grade_shards > 1`` the grader partitions its fault frontier
+    and grades shards across the self-healing worker pool
+    (:class:`repro.faults.fsim.FaultGrader`), merging sets that are
+    exactly the serial ones -- results are identical for any value.
     """
 
     segment_length: int = 300  # the paper's L
@@ -114,6 +122,8 @@ class BuiltinGenConfig:
     time_limit: float | None = None  # optional wall-clock cap (seconds)
     batched: bool = True  # evaluate candidate seeds in packed lanes
     batch_lanes: int = 64  # max lanes per packed run (clamped to 64)
+    grade_shards: int = 1  # fault shards per PPSFP preview (1 = serial)
+    grade_jobs: int | None = None  # grading workers (default: one per shard)
 
 
 @dataclass
@@ -195,7 +205,12 @@ class BuiltinGenerator:
         self.swa_func = swa_func  # None = unconstrained ("buffers" column)
         self.pattern_bank = pattern_bank
         self.initial_state = tuple(initial_state or [0] * len(circuit.flops))
-        self.grader = FaultGrader(circuit, faults)
+        self.grader = FaultGrader(
+            circuit,
+            faults,
+            shards=self.config.grade_shards,
+            jobs=self.config.grade_jobs,
+        )
         self.rng = random.Random(self.config.rng_seed)
         self.chains = ScanChains.partition(circuit)
         self.stats = GenStats()
@@ -206,7 +221,12 @@ class BuiltinGenerator:
         with obs.span(
             "gen.run", circuit=self.circuit.name, holding=bool(hold_set)
         ):
-            return self._run(hold_set)
+            try:
+                return self._run(hold_set)
+            finally:
+                # Release the shard workers (no-op for serial grading); a
+                # later run() or preview respawns them on demand.
+                self.grader.close()
 
     def _run(self, hold_set: Sequence[str] | None) -> BuiltinGenResult:
         cfg = self.config
@@ -517,8 +537,11 @@ class BuiltinGenerator:
         ]
 
     def _lane_lengths(self, pcts: np.ndarray) -> list[int]:
-        """Per-lane truncated segment lengths (:meth:`_truncate_length`,
-        applied lane-wise to the packed switching matrix)."""
+        """Per-lane truncated segment lengths.
+
+        :meth:`_truncate_length` applied lane-wise to the packed
+        switching matrix.
+        """
         length, lanes = pcts.shape
         if self.swa_func is None:
             return [length - (length % 2)] * lanes

@@ -111,6 +111,7 @@ class HoldingSetSelection:
 
     @property
     def n_sets(self) -> int:
+        """Number of selected holding sets (``Nh``)."""
         return len(self.sets)
 
     @property
@@ -244,26 +245,32 @@ class HoldingRunResult:
 
     @property
     def n_multi(self) -> int:
+        """Total multi-segment sequences across the per-set runs."""
         return sum(r.n_multi for r in self.per_set_results)
 
     @property
     def n_seg_max(self) -> int:
+        """Largest per-sequence segment count across the per-set runs."""
         return max((r.n_seg_max for r in self.per_set_results), default=0)
 
     @property
     def l_max(self) -> int:
+        """Longest accepted segment length across the per-set runs."""
         return max((r.l_max for r in self.per_set_results), default=0)
 
     @property
     def n_seeds(self) -> int:
+        """Total seeds stored across the per-set runs (``Nseeds``)."""
         return sum(r.n_seeds for r in self.per_set_results)
 
     @property
     def n_tests(self) -> int:
+        """Total broadside tests applied across the per-set runs."""
         return sum(r.n_tests for r in self.per_set_results)
 
     @property
     def peak_swa(self) -> float:
+        """Peak per-cycle switching activity across the per-set runs."""
         return max((r.peak_swa for r in self.per_set_results), default=0.0)
 
 

@@ -159,6 +159,7 @@ def run_tasks(
     collect = obs.enabled()
 
     def on_complete(index: int, outcome: Any, snapshot: dict | None) -> None:
+        """Merge a finished row's worker metrics and journal/report it."""
         if isinstance(outcome, TaskFailure):
             return
         if collect and snapshot is not None:
@@ -173,7 +174,10 @@ def run_tasks(
     pool = SelfHealingPool(
         tasks, n_workers=min(n_jobs, len(pending)), policy=policy, collect=collect
     )
-    outcomes = pool.run(pending, on_complete)
+    try:
+        outcomes = pool.run(pending, on_complete)
+    finally:
+        pool.close()
     for i in pending:
         results[i] = outcomes[i]
     emit_progress()

@@ -20,6 +20,7 @@ structurally deepest line, matching common ATPG practice).
 
 from __future__ import annotations
 
+from repro import cache as artifact_cache
 from repro.circuits.gates import GateType, controlling_value, is_inverting
 from repro.circuits.netlist import Circuit
 from repro.faults.lists import all_transition_faults
@@ -27,10 +28,14 @@ from repro.faults.models import FALL, RISE, StuckAtFault, TransitionFault
 
 
 class _UnionFind:
+    """Union-find over ``(line, polarity)`` fault sites, with path halving."""
+
     def __init__(self) -> None:
+        """Start with every site its own class (lazily registered)."""
         self.parent: dict[tuple[str, int], tuple[str, int]] = {}
 
     def find(self, x: tuple[str, int]) -> tuple[str, int]:
+        """Representative of ``x``'s equivalence class."""
         self.parent.setdefault(x, x)
         root = x
         while self.parent[root] != root:
@@ -40,6 +45,7 @@ class _UnionFind:
         return root
 
     def union(self, a: tuple[str, int], b: tuple[str, int]) -> None:
+        """Merge the classes of ``a`` and ``b``."""
         ra, rb = self.find(a), self.find(b)
         if ra != rb:
             self.parent[ra] = rb
@@ -159,11 +165,20 @@ def collapsed_transition_faults(circuit: Circuit) -> list[TransitionFault]:
     mutation counter :func:`repro.core.compiled.compile_circuit` keys on)
     makes the re-derivation free.  Returns a fresh list each call so
     callers may filter or reorder without corrupting the cache.
+
+    With an active :mod:`repro.cache` an in-memory miss consults the disk
+    store before collapsing, and a fresh collapse is persisted for the
+    next process -- warm starts of a campaign skip collapsing entirely.
     """
     cached = getattr(circuit, "_collapsed_transition", None)
     version = circuit.version
     if cached is not None and cached[0] == version:
         return list(cached[1])
-    faults = collapse_transition(circuit, all_transition_faults(circuit))
+    store = artifact_cache.active()
+    faults = store.load_collapsed(circuit) if store is not None else None
+    if faults is None:
+        faults = collapse_transition(circuit, all_transition_faults(circuit))
+        if store is not None:
+            store.store_collapsed(circuit, faults)
     circuit._collapsed_transition = (version, tuple(faults))
     return list(faults)

@@ -16,6 +16,15 @@ line-index space of the compiled circuit IR (:mod:`repro.core.compiled`):
 frames are flat arrays, cones are precompiled schedule slices, and each
 fault checks only the observation lines its cone can reach.
 
+Fault-parallel grading: :class:`FaultGrader` optionally partitions its
+undetected-fault frontier into contiguous *shards* and grades them across
+the persistent self-healing worker pool
+(:class:`repro.resilience.pool.SelfHealingPool`) -- a crashed shard is
+retried, per-shard obs snapshots merge back into the parent registry, and
+a shard that exhausts its retry budget is re-graded inline.  Shards
+partition the fault list, so the merged detection sets are *exactly* the
+serial sets for any shard count; sharding is purely a wall-clock knob.
+
 The module also provides test-set compaction over *seed groups* -- the
 reverse-order / forward-looking pass of [89] used by Chapter 4 to reduce
 the number of selected LFSR seeds.
@@ -23,15 +32,21 @@ the number of selected LFSR seeds.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterable, Sequence
+import multiprocessing as mp
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence
 
+from repro import obs
 from repro.circuits.netlist import Circuit
 from repro.core.compiled import CompiledCircuit, compile_circuit
 from repro.faults.models import StuckAtFault, TransitionFault
 from repro.logic.bitsim import pack_columns_indexed
 from repro.logic.patterns import BroadsideTest, Pattern
 from repro.obs import OBS
+
+#: Below this many frontier faults per shard, sharded grading falls back
+#: to the serial path: the PPSFP pass is too small for dispatch to pay.
+MIN_FAULTS_PER_SHARD = 16
 
 
 def _value_word(word: int, value: int, mask: int) -> int:
@@ -57,6 +72,7 @@ class TransitionFaultSimulator:
     """Grades transition faults against broadside test sets."""
 
     def __init__(self, circuit: Circuit, chunk_size: int = 256):
+        """Simulate faults on ``circuit``, ``chunk_size`` tests per PPSFP pass."""
         self.circuit = circuit
         self.compiled = compile_circuit(circuit)
         self.chunk_size = chunk_size
@@ -152,6 +168,105 @@ class TransitionFaultSimulator:
         return out
 
 
+# ---------------------------------------------------------------------------
+# Fault-sharded grading (parallel PPSFP over the frontier)
+# ---------------------------------------------------------------------------
+
+
+def partition_shards(items: Sequence, shards: int) -> list[list]:
+    """Split ``items`` into up to ``shards`` contiguous, order-preserving runs.
+
+    Sizes differ by at most one (remainder spread over the leading
+    shards); empty runs are never produced.  Deterministic, so a sharded
+    grading pass always partitions a given frontier the same way.
+    """
+    items = list(items)
+    n = len(items)
+    shards = max(1, min(int(shards), n)) if n else 1
+    base, extra = divmod(n, shards)
+    out: list[list] = []
+    start = 0
+    for i in range(shards):
+        size = base + (1 if i < extra else 0)
+        out.append(items[start : start + size])
+        start += size
+    return [s for s in out if s]
+
+
+def _split_groups(
+    words: Mapping[TransitionFault, int], group_sizes: Sequence[int]
+) -> list[set[TransitionFault]]:
+    """Split per-fault detection words on group boundaries into sets.
+
+    ``group_sizes[k]`` tests occupy the next ``group_sizes[k]`` bit lanes;
+    a fault lands in group ``k``'s set iff any of that group's lanes
+    detect it.  Shared by the serial grouped path and the shard workers,
+    so both split identically.
+    """
+    bounds: list[int] = []
+    offset = 0
+    for n in group_sizes:
+        bounds.append((((1 << n) - 1) << offset) if n else 0)
+        offset += n
+    out: list[set[TransitionFault]] = [set() for _ in group_sizes]
+    for fault, word in words.items():
+        if not word:
+            continue
+        for k, group_mask in enumerate(bounds):
+            if word & group_mask:
+                out[k].add(fault)
+    return out
+
+
+@dataclass(frozen=True)
+class _ShardTask:
+    """One shard's grading work, shaped for the self-healing pool.
+
+    Mirrors :class:`repro.experiments.runner.ExperimentTask` (the pool
+    reads ``key`` / ``fn`` / ``kwargs`` / ``timeout_s`` / ``max_retries``)
+    without importing the experiments layer from the faults layer.
+    """
+
+    key: str
+    fn: Any
+    kwargs: Mapping[str, Any] = field(default_factory=dict)
+    timeout_s: float | None = None
+    max_retries: int | None = None
+
+
+#: Worker-process memo: one simulator per netlist text, persistent across
+#: shard tasks (the pool keeps workers alive between PPSFP passes).
+_WORKER_SIMULATORS: dict[tuple[str, str], TransitionFaultSimulator] = {}
+
+
+def _grade_shard(
+    bench_text: str,
+    circuit_name: str,
+    tests: Sequence[BroadsideTest],
+    faults: Sequence[TransitionFault],
+    group_sizes: Sequence[int],
+) -> list[set[TransitionFault]]:
+    """One shard's PPSFP pass (runs inside a pool worker).
+
+    Rebuilds the circuit from its ``.bench`` text on first use and memoizes
+    the simulator for the worker's lifetime; with ``REPRO_CACHE_DIR`` set
+    the rebuild warm-starts from the artifact cache.  Detection sets are
+    named by line, so they are identical to the parent grading the same
+    shard regardless of the rebuilt netlist's internal schedule order.
+    """
+    memo_key = (circuit_name, bench_text)
+    sim = _WORKER_SIMULATORS.get(memo_key)
+    if sim is None:
+        from repro.circuits import bench
+
+        sim = TransitionFaultSimulator(bench.loads(bench_text, name=circuit_name))
+        _WORKER_SIMULATORS.clear()  # one netlist per worker is the norm
+        _WORKER_SIMULATORS[memo_key] = sim
+    if len(group_sizes) == 1:
+        return [sim.detected_faults(tests, faults)]
+    return _split_groups(sim.detection_words(tests, faults), group_sizes)
+
+
 class FaultGrader:
     """Incremental transition-fault grading with fault dropping.
 
@@ -159,18 +274,62 @@ class FaultGrader:
     from this candidate segment detect *additional* faults?".  The grader
     keeps the undetected-fault frontier so each query only simulates
     remaining faults.
+
+    With ``shards > 1`` each preview partitions the frontier into
+    contiguous shards (:func:`partition_shards`) and grades them in
+    parallel across up to ``jobs`` self-healing workers; the merged sets
+    are exactly the serial sets, so callers cannot observe the difference
+    except in wall-clock.  The pool is lazy and persistent -- call
+    :meth:`close` (or use the grader as a context manager) when a long-
+    lived grader with ``shards > 1`` is done.  Grading falls back to the
+    serial path for tiny frontiers (< ``MIN_FAULTS_PER_SHARD`` per shard)
+    and inside daemonic pool workers, which cannot spawn children.
     """
 
-    def __init__(self, circuit: Circuit, faults: Sequence[TransitionFault]):
+    def __init__(
+        self,
+        circuit: Circuit,
+        faults: Sequence[TransitionFault],
+        shards: int = 1,
+        jobs: int | None = None,
+    ):
+        """Grade ``faults`` on ``circuit``, optionally across ``shards``.
+
+        ``jobs`` caps the worker count (default: one per shard).
+        """
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        if jobs is not None and jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.simulator = TransitionFaultSimulator(circuit)
         self.all_faults = list(faults)
         self.remaining: list[TransitionFault] = list(faults)
         self.detected: set[TransitionFault] = set()
+        self.shards = int(shards)
+        self.jobs = int(jobs) if jobs is not None else self.shards
+        self._pool = None
+        self._bench_text: str | None = None
+
+    def __enter__(self) -> "FaultGrader":
+        """Context-manager entry; :meth:`close` runs on exit."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Close the shard pool on context exit."""
+        self.close()
+
+    def close(self) -> None:
+        """Shut down the shard worker pool, if one was ever started."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
 
     def preview(self, tests: Sequence[BroadsideTest]) -> set[TransitionFault]:
         """Faults the tests would newly detect, *without* dropping them."""
         if not tests or not self.remaining:
             return set()
+        if self._use_shards():
+            return self._preview_sharded([list(tests)])[0]
         return self.simulator.detected_faults(tests, self.remaining)
 
     def preview_groups(
@@ -192,21 +351,11 @@ class FaultGrader:
         groups = [list(g) for g in test_groups]
         if not self.remaining or not any(groups):
             return [set() for _ in groups]
+        if self._use_shards():
+            return self._preview_sharded(groups)
         flat = [t for g in groups for t in g]
         words = self.simulator.detection_words(flat, self.remaining)
-        out: list[set[TransitionFault]] = [set() for _ in groups]
-        bounds = []
-        offset = 0
-        for g in groups:
-            bounds.append((offset, ((1 << len(g)) - 1) << offset if g else 0))
-            offset += len(g)
-        for fault, word in words.items():
-            if not word:
-                continue
-            for k, (_, group_mask) in enumerate(bounds):
-                if word & group_mask:
-                    out[k].add(fault)
-        return out
+        return _split_groups(words, [len(g) for g in groups])
 
     def commit(self, newly_detected: Iterable[TransitionFault]) -> None:
         """Drop faults previously returned by :meth:`preview`."""
@@ -226,6 +375,104 @@ class FaultGrader:
         if not self.all_faults:
             return 0.0
         return 100.0 * len(self.detected) / len(self.all_faults)
+
+    # -- sharded path ----------------------------------------------------
+    def _use_shards(self) -> bool:
+        """Whether the next preview should fan out over the shard pool."""
+        if self.shards <= 1:
+            return False
+        if len(self.remaining) < self.shards * MIN_FAULTS_PER_SHARD:
+            if OBS.enabled:
+                OBS.count("fsim.shard.small_frontier_fallbacks")
+            return False
+        if mp.current_process().daemon:
+            # A pool worker cannot spawn its own children (e.g. a sharded
+            # grader inside a `table --jobs N` row): grade serially.
+            if OBS.enabled:
+                OBS.count("fsim.shard.daemon_fallbacks")
+            return False
+        return True
+
+    def _shard_pool(self, n_tasks: int):
+        """The lazy persistent worker pool, sized to shards/jobs."""
+        if self._pool is None:
+            from repro.resilience.pool import SelfHealingPool
+
+            self._pool = SelfHealingPool(
+                n_workers=min(self.jobs, self.shards, n_tasks),
+                collect=OBS.enabled,
+            )
+        return self._pool
+
+    def _netlist_text(self) -> str:
+        """The target's ``.bench`` text, serialized once per grader."""
+        if self._bench_text is None:
+            from repro.circuits import bench
+
+            self._bench_text = bench.dumps(self.simulator.circuit)
+        return self._bench_text
+
+    def _preview_sharded(
+        self, groups: Sequence[Sequence[BroadsideTest]]
+    ) -> list[set[TransitionFault]]:
+        """Fan one grouped preview out over fault shards and merge.
+
+        Shards partition the frontier, so each fault's detection sets come
+        from exactly one shard and the merge is a disjoint union -- the
+        result equals the serial grouped preview for any shard count.  A
+        shard whose retries are exhausted (:class:`repro.resilience.policy.
+        TaskFailure`) is re-graded inline, so a pathological worker
+        environment degrades to serial speed, never to wrong results.
+        """
+        from repro.resilience.policy import TaskFailure
+
+        flat = [t for g in groups for t in g]
+        group_sizes = [len(g) for g in groups]
+        shards = partition_shards(self.remaining, self.shards)
+        text = self._netlist_text()
+        name = self.simulator.circuit.name
+        tasks = [
+            _ShardTask(
+                key=f"fsim.shard/{i}",
+                fn=_grade_shard,
+                kwargs={
+                    "bench_text": text,
+                    "circuit_name": name,
+                    "tests": flat,
+                    "faults": shard,
+                    "group_sizes": group_sizes,
+                },
+            )
+            for i, shard in enumerate(shards)
+        ]
+        pool = self._shard_pool(len(tasks))
+        collect = pool.collect
+
+        def on_complete(index: int, outcome: Any, snapshot: dict | None) -> None:
+            """Merge a finished shard's worker metrics into the parent."""
+            if collect and snapshot is not None and not isinstance(outcome, TaskFailure):
+                obs.merge(snapshot, task=tasks[index].key)
+
+        outcomes = pool.run(range(len(tasks)), on_complete, tasks=tasks)
+        if OBS.enabled:
+            OBS.count("fsim.shard.passes")
+            OBS.count("fsim.shard.tasks", len(tasks))
+            for shard in shards:
+                OBS.observe("fsim.shard.faults_per_shard", len(shard))
+        out: list[set[TransitionFault]] = [set() for _ in groups]
+        for i, shard in enumerate(shards):
+            result = outcomes.get(i)
+            if result is None or isinstance(result, TaskFailure):
+                # The pool already burned this shard's retry budget: the
+                # last resort is grading it in-process.
+                if OBS.enabled:
+                    OBS.count("fsim.shard.inline_recoveries")
+                result = _split_groups(
+                    self.simulator.detection_words(flat, shard), group_sizes
+                )
+            for k, group_set in enumerate(result):
+                out[k] |= group_set
+        return out
 
 
 # ---------------------------------------------------------------------------

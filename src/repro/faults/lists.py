@@ -79,6 +79,7 @@ def segment_paths(circuit: Circuit, length: int) -> list[Path]:
     segments: list[Path] = []
 
     def extend(lines: tuple[str, ...]) -> None:
+        """Grow ``lines`` by every fanout successor until ``length``."""
         if len(lines) == length:
             segments.append(Path(lines=lines))
             return

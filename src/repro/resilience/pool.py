@@ -32,6 +32,14 @@ task exactly as the old pool path did; the parent additionally counts
 ``runner.retries`` / ``runner.timeouts`` / ``runner.worker_crashes`` /
 ``runner.worker_respawns`` / ``runner.task_failures`` and emits a
 ``runner.retry`` span per retry decision.
+
+The pool is **persistent**: workers survive across :meth:`SelfHealingPool.
+run` calls (each call may carry a fresh task list), so a caller issuing
+many small batches -- the sharded fault grader
+(:class:`repro.faults.fsim.FaultGrader`) issues one per PPSFP pass --
+pays the process spawn cost once.  Call :meth:`SelfHealingPool.close`
+(or use the pool as a context manager) when done; an exception escaping
+``run`` closes the pool so no orphan workers linger.
 """
 
 from __future__ import annotations
@@ -124,44 +132,72 @@ class SelfHealingPool:
 
     def __init__(
         self,
-        tasks: Sequence[Any],
-        n_workers: int,
-        policy: RetryPolicy,
-        collect: bool,
+        tasks: Sequence[Any] = (),
+        n_workers: int = 1,
+        policy: RetryPolicy | None = None,
+        collect: bool = False,
     ) -> None:
-        self.tasks = tasks
-        self.policy = policy
+        """A pool of up to ``n_workers`` respawnable task workers.
+
+        ``tasks`` may be empty at construction and supplied per
+        :meth:`run` call instead.  ``collect`` makes every worker ship an
+        obs snapshot per task back to the parent.
+        """
+        self.tasks = list(tasks)
+        self.policy = policy or RetryPolicy()
         self.collect = collect
         self._ctx = mp.get_context()
         self._fault_spec = faultpoints.active_spec()
         self._n_workers = n_workers
+        self._slots: list[_Slot] = []
         self._results: dict[int, Any] = {}
         self._queue: list[_Queued] = []
         self._started: dict[int, float] = {}
         self._on_complete: Callable[[int, Any, dict | None], None] | None = None
+
+    def __enter__(self) -> "SelfHealingPool":
+        """Context-manager entry; :meth:`close` runs on exit."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Close the pool on context exit."""
+        self.close()
 
     # ------------------------------------------------------------------
     def run(
         self,
         indices: Sequence[int],
         on_complete: Callable[[int, Any, dict | None], None],
+        tasks: Sequence[Any] | None = None,
     ) -> dict[int, Any]:
         """Execute the tasks at ``indices``; returns index -> outcome.
 
         An outcome is the task's return value or a :class:`TaskFailure`.
         ``on_complete`` fires once per resolved index, in completion
         order, with the worker's obs snapshot when collection is on.
+
+        ``tasks`` replaces the pool's task list for this call.  Workers
+        stay alive afterwards for the next ``run``; an escaping exception
+        closes the pool.
         """
+        if tasks is not None:
+            self.tasks = list(tasks)
+        indices = list(indices)
         self._on_complete = on_complete
+        self._results = {}
+        self._started = {}
         self._queue = [_Queued(index=i) for i in indices]
-        slots = [self._spawn() for _ in range(min(self._n_workers, len(self._queue)))]
+        while len(self._slots) < min(self._n_workers, len(self._queue)):
+            self._slots.append(self._spawn())
+        slots = self._slots
         try:
             while len(self._results) < len(indices):
                 now = time.monotonic()
                 self._dispatch(slots, now)
                 self._await_events(slots)
-        finally:
-            self._shutdown(slots)
+        except BaseException:
+            self.close()
+            raise
         return self._results
 
     # ------------------------------------------------------------------
@@ -297,7 +333,9 @@ class SelfHealingPool:
             self._on_complete(index, outcome, snapshot)
 
     # ------------------------------------------------------------------
-    def _shutdown(self, slots: list[_Slot]) -> None:
+    def close(self) -> None:
+        """Shut every worker down (idempotent; a later ``run`` respawns)."""
+        slots, self._slots = self._slots, []
         for slot in slots:
             try:
                 slot.conn.send(None)

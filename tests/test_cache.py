@@ -1,0 +1,250 @@
+"""Tests for the persistent warm-start artifact cache (``repro.cache``)."""
+
+import os
+import pickle
+
+import pytest
+
+from repro import cache
+from repro.cache.store import ARTIFACT_SCHEMA, ArtifactCache, circuit_key
+from repro.circuits.benchmarks import get_circuit
+from repro.circuits.generator import GeneratorSpec, generate
+from repro.cli import main
+from repro.core.compiled import compile_circuit
+from repro.faults.collapse import collapsed_transition_faults
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_cache(monkeypatch):
+    """Isolate every test from REPRO_CACHE_DIR and module-level state."""
+    monkeypatch.delenv(cache.ENV_VAR, raising=False)
+    cache.reset()
+    yield
+    cache.reset()
+
+
+def fresh_s344():
+    """An s344 instance with no memoized compile/collapse state."""
+    from repro.circuits.benchmarks import entry
+
+    e = entry("s344")
+    spec = GeneratorSpec(
+        name=e.name,
+        n_inputs=e.n_inputs,
+        n_outputs=e.n_outputs,
+        n_flops=e.n_flops,
+        n_gates=e.n_gates,
+    )
+    return generate(spec)
+
+
+class TestKeys:
+    def test_key_stable_for_same_content(self):
+        a, b = fresh_s344(), fresh_s344()
+        assert a is not b
+        assert circuit_key(a) == circuit_key(b)
+
+    def test_key_changes_with_structure(self):
+        c = fresh_s344()
+        before = circuit_key(c)
+        c.add_gate("extra_g", "NOT", [c.topo_gates[0].name])
+        assert circuit_key(c) != before
+
+    def test_key_memoized_per_version(self):
+        c = fresh_s344()
+        assert circuit_key(c) is circuit_key(c)
+
+
+class TestActivation:
+    def test_inactive_by_default(self):
+        assert cache.active() is None
+
+    def test_env_var_activates(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(cache.ENV_VAR, str(tmp_path))
+        cache.reset()
+        store = cache.active()
+        assert store is not None and store.root == tmp_path
+
+    def test_configure_overrides_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(cache.ENV_VAR, str(tmp_path / "env"))
+        cache.configure(tmp_path / "explicit")
+        assert cache.active().root == tmp_path / "explicit"
+        cache.configure(None)
+        assert cache.active() is None
+
+
+class TestRoundTrip:
+    def test_compiled_round_trip(self, tmp_path):
+        store = ArtifactCache(tmp_path)
+        cold = fresh_s344()
+        assert store.load_compiled(cold) is None  # miss on empty store
+        cc = compile_circuit(cold)
+        store.store_compiled(cold, cc)
+        warm_circuit = fresh_s344()
+        warm = store.load_compiled(warm_circuit)
+        assert warm is not None
+        assert warm._schedule == cc._schedule
+        assert warm.names == cc.names
+        assert warm.output_indices == cc.output_indices
+        # The reconstructed instance simulates identically.
+        frame = warm.zero_frame()
+        assert warm.eval_words(frame, 0) == cc.eval_words(cc.zero_frame(), 0)
+
+    def test_kernel_round_trip(self, tmp_path):
+        store = ArtifactCache(tmp_path)
+        cold = fresh_s344()
+        cc = compile_circuit(cold)
+        cc.eval_words(cc.zero_frame(), 0)  # build + (no store: not active)
+        src = cc._word_kernel_source()
+        code = compile(src, "<test>", "exec")
+        store.store_kernel(cold, src, code)
+        loaded = store.load_kernel(fresh_s344())
+        assert loaded is not None
+        namespace = {}
+        exec(loaded, namespace)
+        assert namespace["kernel"](cc.zero_frame(), 0) == cc.eval_words(
+            cc.zero_frame(), 0
+        )
+
+    def test_collapsed_round_trip(self, tmp_path):
+        store = ArtifactCache(tmp_path)
+        cold = fresh_s344()
+        faults = collapsed_transition_faults(cold)
+        store.store_collapsed(cold, faults)
+        assert store.load_collapsed(fresh_s344()) == faults
+
+
+class TestRobustness:
+    def test_corrupt_entry_is_a_silent_miss(self, tmp_path):
+        store = ArtifactCache(tmp_path)
+        c = fresh_s344()
+        store.store_compiled(c, compile_circuit(c))
+        path = store._path("compiled", circuit_key(c))
+        path.write_bytes(b"not a pickle")
+        assert store.load_compiled(fresh_s344()) is None
+        assert not path.exists()  # broken entry dropped for clean rebuild
+
+    def test_wrong_schema_is_a_miss(self, tmp_path):
+        store = ArtifactCache(tmp_path)
+        c = fresh_s344()
+        key = circuit_key(c)
+        path = store._path("faults", key)
+        path.parent.mkdir(parents=True)
+        path.write_bytes(
+            pickle.dumps({"schema": ARTIFACT_SCHEMA + 1, "faults": []})
+        )
+        assert store.load_collapsed(c) is None
+
+    def test_kernel_magic_mismatch_is_a_miss(self, tmp_path):
+        store = ArtifactCache(tmp_path)
+        c = fresh_s344()
+        key = circuit_key(c)
+        path = store._path("kernel", key)
+        path.parent.mkdir(parents=True)
+        path.write_bytes(
+            pickle.dumps(
+                {"schema": ARTIFACT_SCHEMA, "magic": b"\x00\x00\x00\x00", "code": b""}
+            )
+        )
+        assert store.load_kernel(c) is None
+
+    def test_unwritable_root_degrades_to_no_cache(self, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("a file, not a directory")
+        store = ArtifactCache(blocker / "sub")
+        c = fresh_s344()
+        store.store_compiled(c, compile_circuit(c))  # must not raise
+        assert store.load_compiled(c) is None
+
+    def test_stats_and_clear(self, tmp_path):
+        store = ArtifactCache(tmp_path)
+        c = fresh_s344()
+        store.store_compiled(c, compile_circuit(c))
+        store.store_collapsed(c, collapsed_transition_faults(c))
+        stats = store.stats()
+        assert stats["entries"] == 2
+        assert stats["kinds"]["compiled"]["entries"] == 1
+        assert stats["kinds"]["faults"]["entries"] == 1
+        assert stats["bytes"] > 0
+        assert store.clear() == 2
+        assert store.stats()["entries"] == 0
+
+
+class TestWarmStartEquivalence:
+    def test_cold_and_warm_builds_agree(self, tmp_path):
+        """A warm process reproduces the cold process's artifacts exactly."""
+        cache.configure(tmp_path)
+        cold = fresh_s344()
+        cc_cold = compile_circuit(cold)
+        cc_cold.eval_words(cc_cold.zero_frame(), 0)
+        faults_cold = collapsed_transition_faults(cold)
+
+        warm = fresh_s344()
+        cc_warm = compile_circuit(warm)
+        assert cc_warm._schedule == cc_cold._schedule
+        assert cc_warm.eval_words(cc_warm.zero_frame(), 0) == cc_cold.eval_words(
+            cc_cold.zero_frame(), 0
+        )
+        assert collapsed_transition_faults(warm) == faults_cold
+
+    def test_warm_start_counts_hits(self, tmp_path):
+        from repro import obs
+
+        cache.configure(tmp_path)
+        cold = fresh_s344()
+        compile_circuit(cold)
+        collapsed_transition_faults(cold)
+
+        obs.enable()
+        obs.reset()
+        try:
+            warm = fresh_s344()
+            compile_circuit(warm)
+            collapsed_transition_faults(warm)
+            counters = obs.registry().snapshot()["counters"]
+        finally:
+            obs.disable()
+            obs.reset()
+        assert counters.get("cache.hits", 0) >= 2
+        assert counters.get("cache.misses", 0) == 0
+        assert counters.get("compile.artifact_loads", 0) == 1
+
+
+class TestCli:
+    def test_cache_requires_a_directory(self, capsys):
+        assert main(["cache", "stats"]) == 2
+        assert "cache directory" in capsys.readouterr().err
+
+    def test_cache_stats_and_clear(self, tmp_path, capsys):
+        cache.configure(tmp_path)
+        c = get_circuit("s27")
+        store = cache.active()
+        store.store_compiled(c, compile_circuit(c))
+        cache.reset()
+
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "compiled" in out and "total" in out
+
+        assert main(["cache", "clear", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "removed 1" in out
+
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        assert "0" in capsys.readouterr().out
+
+    def test_cache_dir_flag_exports_env(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(cache.ENV_VAR, raising=False)
+        assert (
+            main(
+                [
+                    "generate", "s27", "--length", "40", "--time-limit", "2",
+                    "--cache-dir", str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        assert os.environ.get(cache.ENV_VAR) == str(tmp_path)
+        assert cache.active() is not None
+        # The run populated the store for the next process.
+        assert cache.active().stats()["entries"] > 0

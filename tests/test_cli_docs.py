@@ -1,0 +1,68 @@
+"""Drift test: ``docs/CLI.md`` must match a fresh render of the parser."""
+
+import importlib.util
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SCRIPT = REPO_ROOT / "scripts" / "gen_cli_docs.py"
+DOC = REPO_ROOT / "docs" / "CLI.md"
+
+
+def _load_generator():
+    spec = importlib.util.spec_from_file_location("gen_cli_docs", SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_checked_in_cli_doc_is_current():
+    """A parser change without `python scripts/gen_cli_docs.py` fails here."""
+    gen = _load_generator()
+    assert DOC.exists(), f"missing {DOC}; run python {SCRIPT}"
+    assert DOC.read_text() == gen.render(), (
+        "docs/CLI.md is stale: regenerate with python scripts/gen_cli_docs.py"
+    )
+
+
+def test_render_is_deterministic():
+    gen = _load_generator()
+    assert gen.render() == gen.render()
+
+
+def test_every_subcommand_is_documented():
+    from repro.cli import build_parser
+
+    gen = _load_generator()
+    doc = gen.render()
+    names = [name for name, _, _ in gen._subcommands(build_parser())]
+    assert names, "no subcommands discovered"
+    for name in names:
+        assert f"## `repro-eda {name}`" in doc
+
+
+def test_every_flag_is_documented():
+    """Each subcommand option appears in its reference section."""
+    from repro.cli import build_parser
+
+    doc = DOC.read_text()
+    gen = _load_generator()
+    for _, sub, _ in gen._subcommands(build_parser()):
+        for action in sub._actions:
+            for flag in action.option_strings:
+                if flag in ("-h", "--help"):
+                    continue
+                assert flag in doc, f"{flag} missing from docs/CLI.md"
+
+
+def test_check_mode_detects_drift(tmp_path, capsys):
+    gen = _load_generator()
+    original = gen.OUTPUT
+    try:
+        gen.OUTPUT = tmp_path / "CLI.md"
+        assert gen.main(["--check"]) == 1  # missing file counts as stale
+        assert gen.main([]) == 0  # regenerate
+        assert gen.main(["--check"]) == 0
+        gen.OUTPUT.write_text("tampered")
+        assert gen.main(["--check"]) == 1
+    finally:
+        gen.OUTPUT = original

@@ -112,6 +112,74 @@ class TestTransitionCollapse:
         assert once == twice
 
 
+#: Pinned collapsed transition-fault list for s27 (34 raw faults -> 32
+#: representatives; the NOT-driven pair folds onto its driver).  Any change
+#: to the collapsing rules must update this golden deliberately.
+S27_COLLAPSED_GOLDEN = [
+    ("G14", FALL), ("G14", RISE),
+    ("G1", RISE), ("G1", FALL),
+    ("G2", RISE), ("G2", FALL),
+    ("G3", RISE), ("G3", FALL),
+    ("G5", RISE), ("G5", FALL),
+    ("G6", RISE), ("G6", FALL),
+    ("G7", RISE), ("G7", FALL),
+    ("G12", RISE), ("G12", FALL),
+    ("G13", RISE), ("G13", FALL),
+    ("G8", RISE), ("G8", FALL),
+    ("G16", RISE), ("G16", FALL),
+    ("G15", RISE), ("G15", FALL),
+    ("G9", RISE), ("G9", FALL),
+    ("G11", RISE), ("G11", FALL),
+    ("G10", RISE), ("G10", FALL),
+    ("G17", RISE), ("G17", FALL),
+]
+
+
+class TestS27Golden:
+    def test_pinned_collapsed_list(self):
+        c = get_circuit("s27")
+        got = [(f.line, f.direction) for f in collapsed_transition_faults(c)]
+        assert got == S27_COLLAPSED_GOLDEN
+
+    def test_representatives_are_subset_of_raw(self):
+        c = get_circuit("s27")
+        raw = set(all_transition_faults(c))
+        assert set(collapsed_transition_faults(c)) <= raw
+
+    def test_collapsed_detection_equals_uncollapsed(self):
+        """Grading the collapsed list loses no detection information.
+
+        For any test set, the detected equivalence classes computed from
+        the collapsed representatives (compiled PPSFP grader) must equal
+        the detected classes computed from the full raw fault list --
+        collapsing is a pure work reduction, never a coverage change.
+        """
+        from repro.faults.fsim import TransitionFaultSimulator
+        from repro.logic.simulator import make_broadside_test
+
+        c = get_circuit("s27")
+        classes = transition_equivalence_classes(c)
+        raw = all_transition_faults(c)
+        collapsed = collapsed_transition_faults(c)
+        sim = TransitionFaultSimulator(c)
+        rng = random.Random(11)
+        for trial in range(5):
+            tests = [
+                make_broadside_test(
+                    c,
+                    [rng.randint(0, 1) for _ in c.flops],
+                    [rng.randint(0, 1) for _ in c.inputs],
+                    [rng.randint(0, 1) for _ in c.inputs],
+                )
+                for _ in range(1 + 8 * trial)
+            ]
+            det_raw = sim.detected_faults(tests, raw)
+            det_col = sim.detected_faults(tests, collapsed)
+            classes_raw = {classes[(f.line, f.stuck_value)] for f in det_raw}
+            classes_col = {classes[(f.line, f.stuck_value)] for f in det_col}
+            assert classes_col == classes_raw, f"trial {trial}"
+
+
 class TestMemoization:
     def test_classes_cached_until_version_bump(self):
         c = inverter_chain()
