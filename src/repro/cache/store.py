@@ -32,6 +32,13 @@ by a different interpreter is a miss rather than a crash.
 Observability: ``cache.hits`` / ``cache.misses`` / ``cache.stores`` /
 ``cache.rebuilds`` counters (rendered as the "artifact cache" section of
 ``--stats`` reports).
+
+Distribution: the cache is the shared artifact plane of the execution
+backends (:mod:`repro.exec`).  Local pool workers inherit the directory
+through ``REPRO_CACHE_DIR``; remote socket workers receive the
+coordinator's directory in the ``("config", ...)`` handshake and adopt
+it when they have none of their own, so a fleet warm-starts compiled IR,
+kernels, and fault lists from whatever storage the path points at.
 """
 
 from __future__ import annotations

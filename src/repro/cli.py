@@ -8,6 +8,7 @@ Subcommands mirror the paper's three methods plus utilities::
     repro-eda tpdf s27 --max-faults 60      # Chapter 2 pipeline
     repro-eda select-paths s298 --n 6       # Chapter 3 procedure
     repro-eda table 4.3                     # regenerate a paper table
+    repro-eda worker --connect host:7341    # serve a remote campaign
     repro-eda stats trace.jsonl             # re-render a saved trace
 
 Observability: ``generate`` and ``table`` accept ``--stats`` (print the
@@ -28,6 +29,16 @@ compiled-IR schedules, word-kernel code, and collapsed fault lists across
 runs, and ``--shards N`` to grade fault shards in parallel; neither
 changes any output byte.  ``repro-eda cache {stats,clear}`` manages a
 cache directory.
+
+Execution plane (see :mod:`repro.exec`): ``generate`` and ``table``
+accept ``--executor {inprocess,pool,remote}`` to pick the dispatch
+backend outright -- every backend produces byte-identical output, so
+the flag is a pure wall-clock/topology knob.  ``remote`` binds
+``--listen HOST:PORT`` (port 0 picks a free port, printed to stderr)
+and waits ``--worker-wait`` seconds for ``--min-workers`` workers;
+start workers on any host with ``repro-eda worker --connect HOST:PORT``.
+Bad ``--jobs`` / ``--shards`` / ``--executor`` values fail fast with
+exit code 2 before any work is dispatched.
 
 All output is plain text; every command is deterministic for fixed seeds.
 """
@@ -75,6 +86,64 @@ def _cache_setup(args: argparse.Namespace) -> None:
     if cache_dir:
         os.environ[cache.ENV_VAR] = cache_dir
         cache.configure(cache_dir)
+
+
+def _validate_dispatch(args: argparse.Namespace) -> str | None:
+    """Fail-fast guard for ``--jobs`` / ``--shards`` / ``--executor``.
+
+    Returns the error message to print (the caller exits 2), or ``None``
+    when every dispatch knob the subcommand carries is valid.
+    """
+    from repro.exec import validate_executor_kind, validate_jobs, validate_shards
+
+    try:
+        validate_jobs(getattr(args, "jobs", None))
+        validate_shards(getattr(args, "shards", None))
+        kind = getattr(args, "executor", None)
+        if kind is not None:
+            validate_executor_kind(kind)
+    except ValueError as exc:
+        return str(exc)
+    return None
+
+
+def _build_executor(args: argparse.Namespace, jobs: int | None = None):
+    """Construct the backend named by ``--executor`` for one subcommand.
+
+    ``jobs`` sizes the local pool.  A remote coordinator prints its
+    bound address to stderr and blocks until ``--min-workers`` workers
+    connect; ``TimeoutError`` (no workers) and ``ValueError`` (bad
+    ``--listen``) propagate for the caller to map onto exit codes.
+    """
+    from repro.exec import make_executor, parse_address
+    from repro.resilience import RetryPolicy
+
+    retries = getattr(args, "retries", None)
+    policy = RetryPolicy(
+        max_retries=retries if retries is not None else 2,
+        timeout_s=getattr(args, "timeout", None),
+    )
+    if args.executor == "remote":
+        executor = make_executor(
+            "remote",
+            policy=policy,
+            listen=parse_address(args.listen),
+            accept_grace_s=args.worker_wait,
+        )
+        host, port = executor.address
+        print(
+            f"remote executor listening on {host}:{port} "
+            f"(connect workers with `repro-eda worker --connect {host}:{port}`)",
+            file=sys.stderr,
+            flush=True,
+        )
+        try:
+            executor.wait_for_workers(args.min_workers, timeout_s=args.worker_wait)
+        except TimeoutError:
+            executor.close()
+            raise
+        return executor
+    return make_executor(args.executor, jobs=jobs, policy=policy)
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
@@ -144,14 +213,37 @@ def _cmd_info(args: argparse.Namespace) -> int:
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
+    _obs_setup(args)
+    _cache_setup(args)
+    problem = _validate_dispatch(args)
+    if problem is not None:
+        print(f"error: {problem}", file=sys.stderr)
+        return 2
+    executor = None
+    if args.executor:
+        try:
+            executor = _build_executor(args, jobs=args.shards)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        except TimeoutError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+    try:
+        return _run_generate(args, executor)
+    finally:
+        if executor is not None:
+            executor.close()
+
+
+def _run_generate(args: argparse.Namespace, executor=None) -> int:
+    """Body of ``repro-eda generate`` once dispatch knobs are resolved."""
     from repro.circuits.benchmarks import get_circuit
     from repro.core.builtin_gen import BuiltinGenConfig, BuiltinGenerator
     from repro.core.embedded import compose, compose_with_buffers, estimate_swa_func
     from repro.core.state_holding import run_with_state_holding
     from repro.faults.collapse import collapsed_transition_faults
 
-    _obs_setup(args)
-    _cache_setup(args)
     target = get_circuit(args.circuit)
     faults = collapsed_transition_faults(target)
     config = BuiltinGenConfig(
@@ -168,7 +260,9 @@ def _cmd_generate(args: argparse.Namespace) -> int:
             design = compose(get_circuit(args.driver), target)
         swa_func = estimate_swa_func(design, n_sequences=16, length=120).swa_func
         print(f"SWA_func under {args.driver}: {swa_func:.2f}%")
-    result = BuiltinGenerator(target, faults, swa_func, config=config).run()
+    result = BuiltinGenerator(
+        target, faults, swa_func, config=config, grading_executor=executor
+    ).run()
     print(
         f"Nmulti={result.n_multi} Nsegmax={result.n_seg_max} Lmax={result.l_max} "
         f"Nseeds={result.n_seeds} Ntests={result.n_tests}"
@@ -244,6 +338,29 @@ def _cmd_select_paths(args: argparse.Namespace) -> int:
 def _cmd_table(args: argparse.Namespace) -> int:
     _obs_setup(args)
     _cache_setup(args)
+    problem = _validate_dispatch(args)
+    if problem is not None:
+        print(f"error: {problem}", file=sys.stderr)
+        return 2
+    executor = None
+    if args.executor and args.table in ("4.3", "4.4"):
+        try:
+            executor = _build_executor(args, jobs=args.jobs)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        except TimeoutError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+    try:
+        return _run_table(args, executor)
+    finally:
+        if executor is not None:
+            executor.close()
+
+
+def _run_table(args: argparse.Namespace, executor=None) -> int:
+    """Body of ``repro-eda table`` once dispatch knobs are resolved."""
     table = args.table
     progress = None
     if args.jobs and args.jobs > 1 and not args.quiet:
@@ -293,6 +410,7 @@ def _cmd_table(args: argparse.Namespace) -> int:
                 max_retries=args.retries,
                 checkpoint_path=args.checkpoint,
                 resume=args.resume,
+                executor=executor,
             )
         except CheckpointError as exc:
             print(f"checkpoint error: {exc}", file=sys.stderr)
@@ -329,6 +447,7 @@ def _cmd_table(args: argparse.Namespace) -> int:
             progress=progress,
             timeout_s=args.timeout,
             max_retries=args.retries,
+            executor=executor,
         )
         held = run_table_4_4(
             base,
@@ -339,6 +458,7 @@ def _cmd_table(args: argparse.Namespace) -> int:
             progress=progress,
             timeout_s=args.timeout,
             max_retries=args.retries,
+            executor=executor,
         )
         print(render_table_4_4(held))
         failures = [c for c in list(base) + list(held) if isinstance(c, TaskFailure)]
@@ -357,6 +477,19 @@ def _cmd_table(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_worker(args: argparse.Namespace) -> int:
+    """Serve tasks for a remote executor until the coordinator hangs up."""
+    from repro.exec import parse_address, worker_loop
+
+    _cache_setup(args)
+    try:
+        address = parse_address(args.connect)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return worker_loop(address, connect_timeout_s=args.connect_timeout)
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     from repro.obs import read_trace, render_trace
 
@@ -371,6 +504,39 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     print()
     print(render_trace(events, limit=args.limit))
     return 0
+
+
+def _add_executor_args(p: argparse.ArgumentParser) -> None:
+    """Attach the execution-plane flags shared by ``generate`` and ``table``."""
+    p.add_argument(
+        "--executor",
+        metavar="BACKEND",
+        default=None,
+        help="dispatch backend: inprocess, pool, or remote "
+        "(default: the classic jobs/shards-derived dispatch; "
+        "results are identical for any backend)",
+    )
+    p.add_argument(
+        "--listen",
+        metavar="HOST:PORT",
+        default="127.0.0.1:0",
+        help="remote executor bind address (port 0 picks a free port; "
+        "the bound address is printed to stderr)",
+    )
+    p.add_argument(
+        "--min-workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="remote workers to wait for before dispatching",
+    )
+    p.add_argument(
+        "--worker-wait",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="how long to wait for --min-workers remote workers",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -424,6 +590,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--trace", metavar="FILE", help="write the span trace as JSONL to FILE"
     )
+    _add_executor_args(p)
     p.set_defaults(func=_cmd_generate)
 
     p = sub.add_parser("tpdf", help="transition path delay fault ATPG")
@@ -504,6 +671,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--trace", metavar="FILE", help="write the merged span trace as JSONL to FILE"
     )
+    _add_executor_args(p)
     p.set_defaults(func=_cmd_table)
 
     p = sub.add_parser("cache", help="inspect or clear the artifact cache")
@@ -514,6 +682,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="cache directory (default: the REPRO_CACHE_DIR environment variable)",
     )
     p.set_defaults(func=_cmd_cache)
+
+    p = sub.add_parser("worker", help="serve tasks for a remote executor")
+    p.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="coordinator address printed by `... --executor remote`",
+    )
+    p.add_argument(
+        "--connect-timeout",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="how long to retry dialing the coordinator before giving up",
+    )
+    p.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="artifact cache directory (default: adopt the coordinator's)",
+    )
+    p.set_defaults(func=_cmd_worker)
 
     p = sub.add_parser("stats", help="re-render a saved trace JSONL file")
     p.add_argument("file", help="trace file written by --trace or REPRO_TRACE")

@@ -1,0 +1,486 @@
+"""Remote executor: socket-connected workers via ``multiprocessing.connection``.
+
+The coordinator side (:class:`RemoteExecutor`) opens a stdlib
+``Listener`` on ``HOST:PORT`` and a background accept thread; each
+worker -- launched anywhere that can reach the socket with ``repro-eda
+worker --connect HOST:PORT`` -- dials in (:func:`worker_loop`),
+handshakes, and then serves one task at a time.  The wire protocol is
+four message shapes, all pickled by the connection itself:
+
+* worker -> coordinator: ``("hello", {"pid", "host"})`` once, on connect;
+* coordinator -> worker: ``("config", {"collect", "cache_dir"})`` --
+  whether to ship per-task obs snapshots, and the coordinator's
+  :mod:`repro.cache` directory so workers without one of their own warm
+  from the same artifact plane;
+* coordinator -> worker: ``("task", index, task, attempt)`` per dispatch,
+  or ``None`` to shut the worker down;
+* worker -> coordinator: the exact reply tuple of the local pool
+  (:func:`repro.resilience.pool.attempt_reply`), so results, errors, and
+  obs snapshots look identical to :class:`~repro.exec.localpool.
+  LocalPoolExecutor` results.
+
+Failure semantics mirror the local pool with one structural difference:
+a remote seat cannot be respawned.  EOF on a worker's connection
+(crash, kill, network drop) drops the seat and requeues the attempt for
+any surviving worker (``runner.worker_crashes``); a worker that outlives
+its task deadline has its connection closed -- dropping the seat -- and
+the task is retried elsewhere (``runner.timeouts``).  If *no* workers
+remain and none arrive within the accept grace period, queued tasks
+degrade to :class:`repro.resilience.policy.TaskFailure` rather than
+hanging the campaign.  Tasks re-run with identical kwargs (same derived
+seed), so any schedule over any worker set yields byte-identical tables;
+checkpoint fingerprints (:mod:`repro.resilience.checkpoint`) exclude
+every executor knob, which is what makes a journal written by a remote
+campaign resumable on a different backend or host.
+
+Fault injection is per-process: a worker arms ``REPRO_FAULT`` from its
+*own* environment (:mod:`repro.resilience.faultpoints` reads it lazily),
+so a crash can be injected into one worker of a fleet.  Connections are
+authenticated with the usual HMAC challenge; set ``REPRO_EXEC_AUTHKEY``
+on both ends to replace the default shared key.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import sys
+import time
+from dataclasses import dataclass
+from multiprocessing.connection import Client, Connection, Listener, wait as conn_wait
+from typing import Any, Callable, Sequence
+
+from repro import obs
+from repro.exec.base import Executor
+from repro.resilience.policy import (
+    KIND_CRASH,
+    KIND_ERROR,
+    KIND_TIMEOUT,
+    RetryPolicy,
+    TaskFailure,
+)
+
+#: Environment variable overriding the connection auth key on both ends.
+AUTHKEY_ENV = "REPRO_EXEC_AUTHKEY"
+
+#: Default HMAC auth key (localhost smoke setups; override for real fleets).
+_DEFAULT_AUTHKEY = b"repro-exec-v1"
+
+#: How long :meth:`RemoteExecutor.close` waits for the accept thread.
+_JOIN_TIMEOUT_S = 2.0
+
+
+def _resolve_authkey(explicit: bytes | None) -> bytes:
+    """The auth key: explicit argument, else ``REPRO_EXEC_AUTHKEY``, else default."""
+    if explicit is not None:
+        return explicit
+    env = os.environ.get(AUTHKEY_ENV)
+    return env.encode("utf-8") if env else _DEFAULT_AUTHKEY
+
+
+def parse_address(spec: str) -> tuple[str, int]:
+    """Parse ``HOST:PORT`` into an address tuple; raises ``ValueError``.
+
+    Port 0 is allowed on the listening side (the OS picks a free port,
+    printed by the CLI so workers know where to connect).
+    """
+    host, sep, port_text = str(spec).rpartition(":")
+    if not sep or not host:
+        raise ValueError(f"bad address {spec!r}: expected HOST:PORT")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(f"bad port {port_text!r} in address {spec!r}") from None
+    if not 0 <= port <= 65535:
+        raise ValueError(f"port {port} out of range in address {spec!r}")
+    return host, port
+
+
+@dataclass
+class _Seat:
+    """One connected worker: its socket and what it is running."""
+
+    conn: Connection
+    info: dict
+    busy_index: int | None = None
+    attempt: int = 0
+    deadline: float | None = None
+    timeout_s: float | None = None
+
+
+@dataclass
+class _Queued:
+    """A schedulable attempt; ``ready_at`` implements retry backoff."""
+
+    index: int
+    attempt: int = 0
+    ready_at: float = 0.0
+
+
+class RemoteExecutor(Executor):
+    """Coordinate socket-connected workers (see module docstring)."""
+
+    kind = "remote"
+    ships_snapshots = True
+    daemon_safe = True  # needs only a thread, never a child process
+
+    def __init__(
+        self,
+        listen: tuple[str, int] = ("127.0.0.1", 0),
+        authkey: bytes | None = None,
+        policy: RetryPolicy | None = None,
+        collect: bool | None = None,
+        accept_grace_s: float = 30.0,
+    ) -> None:
+        """Listen on ``listen`` (``port 0`` = OS-assigned) for workers.
+
+        ``collect`` controls whether workers ship per-task obs snapshots
+        (``None`` = whatever the registry's enabled state is when each
+        worker handshakes).  ``accept_grace_s`` bounds how long a drain
+        with zero connected workers waits for one before degrading the
+        queued tasks to ``TaskFailure``.
+        """
+        super().__init__(policy)
+        import threading
+
+        self._collect = collect
+        self.accept_grace_s = accept_grace_s
+        self._listener = Listener(tuple(listen), authkey=_resolve_authkey(authkey))
+        #: The bound ``(host, port)`` workers should connect to.
+        self.address: tuple[str, int] = self._listener.address
+        self._lock = threading.Lock()
+        self._arrivals: list[_Seat] = []
+        self._seats: list[_Seat] = []
+        self._closing = False
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-exec-accept", daemon=True
+        )
+        self._accept_thread.start()
+
+    # -- worker intake --------------------------------------------------
+    def _accept_loop(self) -> None:
+        """Accept + handshake workers forever; runs on a daemon thread.
+
+        No obs calls happen here -- the registry is not thread-safe by
+        contract; arrival counts surface from the scheduler loop instead.
+        """
+        while not self._closing:
+            try:
+                conn = self._listener.accept()
+            except Exception:  # closed listener, failed HMAC handshake, ...
+                if self._closing:
+                    return
+                time.sleep(0.05)
+                continue
+            try:
+                msg = conn.recv()
+                if not (isinstance(msg, tuple) and msg and msg[0] == "hello"):
+                    conn.close()
+                    continue
+                collect = obs.enabled() if self._collect is None else self._collect
+                from repro import cache
+
+                conn.send(
+                    (
+                        "config",
+                        {
+                            "collect": bool(collect),
+                            "cache_dir": os.environ.get(cache.ENV_VAR),
+                        },
+                    )
+                )
+            except (EOFError, OSError):
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+                continue
+            with self._lock:
+                self._arrivals.append(_Seat(conn=conn, info=dict(msg[1])))
+
+    def wait_for_workers(self, n: int, timeout_s: float = 30.0) -> int:
+        """Block until ``n`` workers have connected; returns the count.
+
+        Raises ``TimeoutError`` if fewer than ``n`` arrive in time --
+        the CLI surfaces this instead of starting a campaign that would
+        immediately starve.
+        """
+        deadline = time.monotonic() + timeout_s
+        while True:
+            with self._lock:
+                have = len(self._arrivals) + len(self._seats)
+            if have >= n:
+                return have
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"only {have} of {n} remote worker(s) connected "
+                    f"within {timeout_s:g}s"
+                )
+            time.sleep(0.05)
+
+    def _adopt_arrivals(self) -> None:
+        with self._lock:
+            arrivals, self._arrivals = self._arrivals, []
+        self._seats.extend(arrivals)
+
+    def _drop_seat(self, seat: _Seat) -> None:
+        try:
+            seat.conn.close()
+        except OSError:
+            pass
+        if seat in self._seats:
+            self._seats.remove(seat)
+
+    # -- scheduling -----------------------------------------------------
+    def _execute(
+        self,
+        tasks: Sequence[Any],
+        emit: Callable[[int, Any, dict | None], None],
+    ) -> None:
+        """Schedule the drained batch over whatever workers are connected.
+
+        Workers may arrive mid-drain (they are adopted each loop pass)
+        and die mid-drain (their task is requeued); the loop ends when
+        every slot has emitted exactly once.
+        """
+        queue = [_Queued(index=i) for i in range(len(tasks))]
+        done: set[int] = set()
+        started: dict[int, float] = {}
+        starved_since: float | None = None
+
+        def finish(index: int, outcome: Any, snapshot: dict | None) -> None:
+            done.add(index)
+            emit(index, outcome, snapshot)
+
+        def retry_or_fail(index: int, attempt: int, kind: str, message: str) -> None:
+            task = tasks[index]
+            if attempt < self.policy.effective_retries(task.max_retries):
+                obs.count("runner.retries")
+                with obs.span(
+                    "runner.retry", key=task.key, attempt=attempt + 1, cause=kind
+                ):
+                    pass
+                queue.append(
+                    _Queued(
+                        index=index,
+                        attempt=attempt + 1,
+                        ready_at=time.monotonic() + self.policy.backoff_s(attempt),
+                    )
+                )
+                return
+            elapsed = time.monotonic() - started.get(index, time.monotonic())
+            obs.count("runner.task_failures")
+            finish(
+                index,
+                TaskFailure(
+                    key=task.key,
+                    kind=kind,
+                    message=message,
+                    attempts=attempt + 1,
+                    elapsed_s=round(elapsed, 3),
+                ),
+                None,
+            )
+
+        while len(done) < len(tasks):
+            self._adopt_arrivals()
+            now = time.monotonic()
+            # Dispatch ready work onto idle seats.
+            for seat in list(self._seats):
+                if seat.busy_index is not None:
+                    continue
+                item = self._pop_ready(queue, now)
+                if item is None:
+                    break
+                task = tasks[item.index]
+                try:
+                    seat.conn.send(("task", item.index, task, item.attempt))
+                except (OSError, ValueError):
+                    self._drop_seat(seat)
+                    queue.insert(0, item)
+                    continue
+                timeout = self.policy.effective_timeout(task.timeout_s)
+                seat.busy_index = item.index
+                seat.attempt = item.attempt
+                seat.timeout_s = timeout
+                seat.deadline = (now + timeout) if timeout else None
+                started.setdefault(item.index, now)
+            busy = [s for s in self._seats if s.busy_index is not None]
+            if not self._seats:
+                # Zero workers: wait out the grace period, then degrade.
+                starved_since = starved_since if starved_since is not None else now
+                if now - starved_since > self.accept_grace_s:
+                    remaining, queue = queue, []
+                    for item in remaining:
+                        obs.count("runner.task_failures")
+                        finish(
+                            item.index,
+                            TaskFailure(
+                                key=tasks[item.index].key,
+                                kind=KIND_CRASH,
+                                message=(
+                                    "no remote workers connected within "
+                                    f"{self.accept_grace_s:g}s"
+                                ),
+                                attempts=item.attempt + 1,
+                                elapsed_s=round(
+                                    now - started.get(item.index, now), 3
+                                ),
+                            ),
+                            None,
+                        )
+                    continue
+                time.sleep(0.05)
+                continue
+            starved_since = None
+            horizons = [s.deadline for s in busy if s.deadline is not None]
+            horizons += [q.ready_at for q in queue if q.ready_at > now]
+            timeout = max(0.0, min(horizons) - now) if horizons else 0.2
+            if not busy:
+                # Idle seats but nothing ready (backoff pending) -- or a
+                # fresh arrival will be adopted next pass.
+                time.sleep(min(timeout, 0.05))
+                continue
+            for conn in conn_wait([s.conn for s in busy], timeout):
+                seat = next(s for s in busy if s.conn is conn)
+                index, attempt = seat.busy_index, seat.attempt
+                try:
+                    reply = conn.recv()
+                except (EOFError, OSError):
+                    self._drop_seat(seat)
+                    obs.count("runner.worker_crashes")
+                    if index is not None:
+                        retry_or_fail(
+                            index, attempt, KIND_CRASH, "remote worker disconnected"
+                        )
+                    continue
+                seat.busy_index = None
+                seat.deadline = None
+                r_index, status, payload, snapshot = reply
+                if status == "ok":
+                    finish(r_index, payload, snapshot)
+                else:
+                    retry_or_fail(r_index, attempt, KIND_ERROR, payload)
+            # Deadline sweep: a hung remote worker cannot be killed, but
+            # its seat can be dropped so the task retries elsewhere.
+            now = time.monotonic()
+            for seat in list(self._seats):
+                if (
+                    seat.busy_index is None
+                    or seat.deadline is None
+                    or now <= seat.deadline
+                ):
+                    continue
+                if seat.conn.poll(0):  # finished just as the deadline passed
+                    continue
+                index, attempt, timeout_s = seat.busy_index, seat.attempt, seat.timeout_s
+                self._drop_seat(seat)
+                obs.count("runner.timeouts")
+                retry_or_fail(
+                    index, attempt, KIND_TIMEOUT, f"exceeded timeout_s={timeout_s:g}"
+                )
+
+    @staticmethod
+    def _pop_ready(queue: list[_Queued], now: float) -> _Queued | None:
+        for i, item in enumerate(queue):
+            if item.ready_at <= now:
+                return queue.pop(i)
+        return None
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Send every worker its shutdown sentinel and stop listening."""
+        self._closing = True
+        self._adopt_arrivals()
+        seats, self._seats = self._seats, []
+        for seat in seats:
+            try:
+                seat.conn.send(None)
+            except (OSError, ValueError):
+                pass
+            try:
+                seat.conn.close()
+            except OSError:
+                pass
+        try:
+            self._listener.close()  # unblocks the accept thread
+        except OSError:
+            pass
+        self._accept_thread.join(_JOIN_TIMEOUT_S)
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+
+def worker_loop(
+    address: tuple[str, int],
+    authkey: bytes | None = None,
+    connect_timeout_s: float = 60.0,
+    poll_s: float = 0.5,
+) -> int:
+    """Serve tasks from the coordinator at ``address``; returns an exit code.
+
+    This is the body of ``repro-eda worker --connect HOST:PORT``.  The
+    loop dials until the coordinator appears (retrying for up to
+    ``connect_timeout_s`` -- workers may legitimately start first),
+    handshakes, adopts the coordinator's cache directory when it has
+    none of its own, and then answers ``("task", ...)`` messages with
+    :func:`repro.resilience.pool.attempt_reply` tuples until it receives
+    the ``None`` sentinel or EOF.  Fault points arm from this process's
+    *own* ``REPRO_FAULT`` environment, so one worker of a fleet can be
+    made to crash while the rest stay healthy.
+    """
+    from repro import cache
+    from repro.resilience.pool import attempt_reply
+
+    key = _resolve_authkey(authkey)
+    deadline = time.monotonic() + connect_timeout_s
+    conn = None
+    while conn is None:
+        try:
+            conn = Client(tuple(address), authkey=key)
+        except (OSError, EOFError):
+            if time.monotonic() > deadline:
+                print(
+                    f"repro-eda worker: no coordinator at "
+                    f"{address[0]}:{address[1]} after {connect_timeout_s:g}s",
+                    file=sys.stderr,
+                )
+                return 1
+            time.sleep(poll_s)
+    try:
+        conn.send(("hello", {"pid": os.getpid(), "host": socket.gethostname()}))
+        try:
+            msg = conn.recv()
+        except EOFError:
+            return 0
+        collect = False
+        if isinstance(msg, tuple) and msg and msg[0] == "config":
+            config = msg[1]
+            collect = bool(config.get("collect"))
+            cache_dir = config.get("cache_dir")
+            if cache_dir and not os.environ.get(cache.ENV_VAR):
+                os.environ[cache.ENV_VAR] = str(cache_dir)
+                cache.reset()
+        while True:
+            try:
+                item = conn.recv()
+            except EOFError:
+                return 0
+            if item is None:
+                return 0
+            _, index, task, attempt = item
+            reply = attempt_reply(index, task, attempt, collect)
+            try:
+                conn.send(reply)
+            except (OSError, ValueError):
+                # The coordinator dropped this seat (deadline sweep or
+                # shutdown); nothing left to serve.
+                return 0
+    finally:
+        try:
+            conn.close()
+        except OSError:
+            pass

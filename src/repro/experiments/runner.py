@@ -10,10 +10,13 @@ campaign plumbing:
 * :class:`ExperimentTask` -- one picklable unit of work (a module-level
   function plus keyword arguments), labelled by a stable ``key`` and
   optionally carrying its own ``timeout_s`` / ``max_retries``;
-* :func:`run_tasks` -- execute tasks inline (``jobs <= 1``) or across the
-  self-healing pool (:mod:`repro.resilience.pool`), always returning
-  results **in task order**, so ``jobs=N`` output equals ``jobs=1``
-  output exactly;
+* :func:`run_tasks` -- dispatch tasks over the execution plane
+  (:mod:`repro.exec`): inline (``jobs <= 1`` maps to
+  :class:`repro.exec.inprocess.InProcessExecutor`), across the
+  self-healing pool (:class:`repro.exec.localpool.LocalPoolExecutor`),
+  or over any caller-supplied executor -- socket-connected remote
+  workers included -- always returning results **in task order**, so
+  every backend's output equals ``jobs=1`` output exactly;
 * :func:`derive_seed` -- a per-task RNG seed derived from a base seed and
   the task key, stable across runs, task orderings, and worker counts.
 
@@ -47,16 +50,16 @@ prefix grows, backing the per-row progress lines of ``repro-eda table``.
 
 from __future__ import annotations
 
-import time
 import zlib
 from dataclasses import dataclass, field
-from typing import Any, Callable, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Mapping, Sequence
 
 from repro import obs
-from repro.resilience import faultpoints
 from repro.resilience.checkpoint import CheckpointJournal
-from repro.resilience.deadline import clear_task_deadline, set_task_deadline
-from repro.resilience.policy import KIND_ERROR, RetryPolicy, TaskFailure
+from repro.resilience.policy import RetryPolicy, TaskFailure
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.exec.base import Executor
 
 _PENDING = object()  # results-slot sentinel: not yet resolved
 
@@ -92,30 +95,34 @@ def derive_seed(base_seed: int, key: str) -> int:
     return mixed or 1
 
 
-def _call(task: ExperimentTask) -> Any:
-    return task.fn(**dict(task.kwargs))
-
-
 def run_tasks(
     tasks: Sequence[ExperimentTask],
     jobs: int | None = None,
     progress: Callable[[int, ExperimentTask], None] | None = None,
     policy: RetryPolicy | None = None,
     checkpoint: CheckpointJournal | None = None,
+    executor: Executor | None = None,
 ) -> list[Any]:
     """Run every task; returns results (or ``TaskFailure``s) in task order.
 
-    ``jobs`` of ``None``, 0, or 1 (or a single runnable task) runs inline
-    in this process -- no pool, no pickling.  Larger ``jobs`` fans out
-    over the self-healing worker pool, capped at the task count.
-    Negative ``jobs`` is rejected with a ``ValueError``.  Because each
-    task is self-contained and results are collected in input order, the
-    returned list is byte-for-byte the same for every ``jobs`` value.
+    Dispatch goes over the execution plane (:mod:`repro.exec`).  With no
+    ``executor``, ``jobs`` of ``None``, 0, or 1 (or a single runnable
+    task) runs inline in this process -- no pool, no pickling -- and
+    larger ``jobs`` fans out over the self-healing worker pool, capped
+    at the task count; negative ``jobs`` is rejected with a
+    ``ValueError``.  A caller-supplied ``executor`` (any backend,
+    socket-connected remote workers included) is used as-is -- its own
+    retry policy applies and the caller keeps ownership of its
+    lifetime, while ``jobs`` only sizes executors this function creates.
+    Because each task is self-contained and results are collected in
+    input order, the returned list is byte-for-byte the same for every
+    backend and worker count.
 
     ``policy`` supplies campaign-wide deadline/retry/backoff defaults
-    (per-task fields override it); ``checkpoint`` journals completed rows
-    and replays rows the journal already holds.  ``progress(index, task)``
-    is invoked per task in task order as the completed prefix grows.
+    for owned executors (per-task fields override it); ``checkpoint``
+    journals completed rows the moment they finish and replays rows the
+    journal already holds.  ``progress(index, task)`` is invoked per
+    task in task order as the completed prefix grows.
     """
     tasks = list(tasks)
     if jobs is not None and int(jobs) < 0:
@@ -150,80 +157,40 @@ def run_tasks(
     if not pending:
         return results
 
-    if n_jobs <= 1 or len(pending) <= 1:
-        for i in pending:
-            results[i] = _run_inline(tasks[i], policy, checkpoint)
-            emit_progress()
-        return results
+    owned = executor is None
+    if owned:
+        if n_jobs <= 1 or len(pending) <= 1:
+            from repro.exec.inprocess import InProcessExecutor
 
-    collect = obs.enabled()
+            executor = InProcessExecutor(policy=policy)
+        else:
+            from repro.exec.localpool import LocalPoolExecutor
 
-    def on_complete(index: int, outcome: Any, snapshot: dict | None) -> None:
+            executor = LocalPoolExecutor(
+                n_workers=min(n_jobs, len(pending)),
+                policy=policy,
+                collect=obs.enabled(),
+            )
+
+    def on_complete(slot: int, outcome: Any, snapshot: dict | None) -> None:
         """Merge a finished row's worker metrics and journal/report it."""
-        if isinstance(outcome, TaskFailure):
-            return
-        if collect and snapshot is not None:
-            obs.merge(snapshot, task=tasks[index].key)
-            obs.count("runner.worker_registries_merged")
-        obs.count("runner.tasks_completed")
-        if checkpoint is not None:
-            checkpoint.record(tasks[index].key, outcome, snapshot=snapshot)
+        index = pending[slot]
+        results[index] = outcome
+        if not isinstance(outcome, TaskFailure):
+            if snapshot is not None and obs.enabled():
+                obs.merge(snapshot, task=tasks[index].key)
+                obs.count("runner.worker_registries_merged")
+            obs.count("runner.tasks_completed")
+            if checkpoint is not None:
+                checkpoint.record(tasks[index].key, outcome, snapshot=snapshot)
+        emit_progress()
 
-    from repro.resilience.pool import SelfHealingPool
-
-    pool = SelfHealingPool(
-        tasks, n_workers=min(n_jobs, len(pending)), policy=policy, collect=collect
-    )
     try:
-        outcomes = pool.run(pending, on_complete)
+        for i in pending:
+            executor.submit(tasks[i])
+        executor.drain(on_complete)
     finally:
-        pool.close()
-    for i in pending:
-        results[i] = outcomes[i]
+        if owned:
+            executor.close()
     emit_progress()
     return results
-
-
-def _run_inline(
-    task: ExperimentTask,
-    policy: RetryPolicy,
-    checkpoint: CheckpointJournal | None,
-) -> Any:
-    """One task in this process, with the same retry/degradation contract.
-
-    A deadline cannot be enforced preemptively without a worker process
-    to kill, but it is still published (:mod:`repro.resilience.deadline`)
-    so budget-aware inner loops stop in time; exceptions are retried
-    under the policy's backoff and degrade to ``TaskFailure``.
-    """
-    started = time.monotonic()
-    attempt = 0
-    while True:
-        set_task_deadline(policy.effective_timeout(task.timeout_s))
-        try:
-            with obs.span("runner.task", key=task.key, attempt=attempt):
-                faultpoints.check("runner.task", task.key, attempt)
-                value = _call(task)
-        except Exception as exc:
-            clear_task_deadline()
-            if attempt >= policy.effective_retries(task.max_retries):
-                obs.count("runner.task_failures")
-                return TaskFailure(
-                    key=task.key,
-                    kind=KIND_ERROR,
-                    message=f"{type(exc).__name__}: {exc}",
-                    attempts=attempt + 1,
-                    elapsed_s=round(time.monotonic() - started, 3),
-                )
-            obs.count("runner.retries")
-            with obs.span(
-                "runner.retry", key=task.key, attempt=attempt + 1, cause=KIND_ERROR
-            ):
-                time.sleep(policy.backoff_s(attempt))
-            attempt += 1
-            continue
-        clear_task_deadline()
-        obs.count("runner.tasks_completed")
-        if checkpoint is not None:
-            checkpoint.record(task.key, value)
-        return value

@@ -17,13 +17,15 @@ frames are flat arrays, cones are precompiled schedule slices, and each
 fault checks only the observation lines its cone can reach.
 
 Fault-parallel grading: :class:`FaultGrader` optionally partitions its
-undetected-fault frontier into contiguous *shards* and grades them across
-the persistent self-healing worker pool
-(:class:`repro.resilience.pool.SelfHealingPool`) -- a crashed shard is
-retried, per-shard obs snapshots merge back into the parent registry, and
-a shard that exhausts its retry budget is re-graded inline.  Shards
-partition the fault list, so the merged detection sets are *exactly* the
-serial sets for any shard count; sharding is purely a wall-clock knob.
+undetected-fault frontier into contiguous *shards* and grades them over
+the execution plane (:mod:`repro.exec`) -- by default a persistent
+:class:`repro.exec.localpool.LocalPoolExecutor` over the self-healing
+worker pool, or any injected backend (serial, remote sockets).  A
+crashed shard is retried, per-shard obs snapshots merge back into the
+parent registry, and a shard that exhausts its retry budget is re-graded
+inline.  Shards partition the fault list, so the merged detection sets
+are *exactly* the serial sets for any shard count and any backend;
+sharding is purely a wall-clock knob.
 
 The module also provides test-set compaction over *seed groups* -- the
 reverse-order / forward-looking pass of [89] used by Chapter 4 to reduce
@@ -34,7 +36,7 @@ from __future__ import annotations
 
 import multiprocessing as mp
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Iterable, Mapping, Sequence
 
 from repro import obs
 from repro.circuits.netlist import Circuit
@@ -43,6 +45,9 @@ from repro.faults.models import StuckAtFault, TransitionFault
 from repro.logic.bitsim import pack_columns_indexed
 from repro.logic.patterns import BroadsideTest, Pattern
 from repro.obs import OBS
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.exec.base import Executor
 
 #: Below this many frontier faults per shard, sharded grading falls back
 #: to the serial path: the PPSFP pass is too small for dispatch to pay.
@@ -220,10 +225,10 @@ def _split_groups(
 
 @dataclass(frozen=True)
 class _ShardTask:
-    """One shard's grading work, shaped for the self-healing pool.
+    """One shard's grading work, shaped for the execution plane.
 
-    Mirrors :class:`repro.experiments.runner.ExperimentTask` (the pool
-    reads ``key`` / ``fn`` / ``kwargs`` / ``timeout_s`` / ``max_retries``)
+    Mirrors :class:`repro.experiments.runner.ExperimentTask` (executors
+    read ``key`` / ``fn`` / ``kwargs`` / ``timeout_s`` / ``max_retries``)
     without importing the experiments layer from the faults layer.
     """
 
@@ -276,14 +281,18 @@ class FaultGrader:
     remaining faults.
 
     With ``shards > 1`` each preview partitions the frontier into
-    contiguous shards (:func:`partition_shards`) and grades them in
-    parallel across up to ``jobs`` self-healing workers; the merged sets
-    are exactly the serial sets, so callers cannot observe the difference
-    except in wall-clock.  The pool is lazy and persistent -- call
-    :meth:`close` (or use the grader as a context manager) when a long-
-    lived grader with ``shards > 1`` is done.  Grading falls back to the
-    serial path for tiny frontiers (< ``MIN_FAULTS_PER_SHARD`` per shard)
-    and inside daemonic pool workers, which cannot spawn children.
+    contiguous shards (:func:`partition_shards`) and grades them over an
+    executor (:mod:`repro.exec`): by default a lazily created, persistent
+    :class:`repro.exec.localpool.LocalPoolExecutor` of up to ``jobs``
+    self-healing workers, or a caller-supplied ``executor`` (any
+    backend, remote workers included -- the caller keeps its lifetime).
+    The merged sets are exactly the serial sets, so callers cannot
+    observe the difference except in wall-clock.  Call :meth:`close` (or
+    use the grader as a context manager) when a long-lived grader with
+    ``shards > 1`` is done.  Grading falls back to the serial path for
+    tiny frontiers (< ``MIN_FAULTS_PER_SHARD`` per shard) and, for
+    backends that would spawn local children, inside daemonic pool
+    workers (which cannot).
     """
 
     def __init__(
@@ -292,10 +301,13 @@ class FaultGrader:
         faults: Sequence[TransitionFault],
         shards: int = 1,
         jobs: int | None = None,
+        executor: Executor | None = None,
     ):
         """Grade ``faults`` on ``circuit``, optionally across ``shards``.
 
-        ``jobs`` caps the worker count (default: one per shard).
+        ``jobs`` caps the worker count of the default pool backend
+        (default: one per shard); an explicit ``executor`` overrides the
+        backend entirely and is *not* closed by the grader.
         """
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
@@ -307,7 +319,8 @@ class FaultGrader:
         self.detected: set[TransitionFault] = set()
         self.shards = int(shards)
         self.jobs = int(jobs) if jobs is not None else self.shards
-        self._pool = None
+        self._executor = executor
+        self._pool = None  # lazily owned executor (None with an injected one)
         self._bench_text: str | None = None
 
     def __enter__(self) -> "FaultGrader":
@@ -319,7 +332,10 @@ class FaultGrader:
         self.close()
 
     def close(self) -> None:
-        """Shut down the shard worker pool, if one was ever started."""
+        """Shut down the owned shard executor, if one was ever started.
+
+        An injected ``executor`` belongs to the caller and is left open.
+        """
         if self._pool is not None:
             self._pool.close()
             self._pool = None
@@ -385,7 +401,8 @@ class FaultGrader:
             if OBS.enabled:
                 OBS.count("fsim.shard.small_frontier_fallbacks")
             return False
-        if mp.current_process().daemon:
+        daemon_safe = self._executor is not None and self._executor.daemon_safe
+        if mp.current_process().daemon and not daemon_safe:
             # A pool worker cannot spawn its own children (e.g. a sharded
             # grader inside a `table --jobs N` row): grade serially.
             if OBS.enabled:
@@ -393,12 +410,14 @@ class FaultGrader:
             return False
         return True
 
-    def _shard_pool(self, n_tasks: int):
-        """The lazy persistent worker pool, sized to shards/jobs."""
+    def _shard_executor(self, n_tasks: int):
+        """The shard executor: injected, else a lazy persistent local pool."""
+        if self._executor is not None:
+            return self._executor
         if self._pool is None:
-            from repro.resilience.pool import SelfHealingPool
+            from repro.exec.localpool import LocalPoolExecutor
 
-            self._pool = SelfHealingPool(
+            self._pool = LocalPoolExecutor(
                 n_workers=min(self.jobs, self.shards, n_tasks),
                 collect=OBS.enabled,
             )
@@ -445,15 +464,20 @@ class FaultGrader:
             )
             for i, shard in enumerate(shards)
         ]
-        pool = self._shard_pool(len(tasks))
-        collect = pool.collect
+        executor = self._shard_executor(len(tasks))
+        for task in tasks:
+            executor.submit(task)
 
-        def on_complete(index: int, outcome: Any, snapshot: dict | None) -> None:
+        def on_complete(slot: int, outcome: Any, snapshot: dict | None) -> None:
             """Merge a finished shard's worker metrics into the parent."""
-            if collect and snapshot is not None and not isinstance(outcome, TaskFailure):
-                obs.merge(snapshot, task=tasks[index].key)
+            if (
+                snapshot is not None
+                and OBS.enabled
+                and not isinstance(outcome, TaskFailure)
+            ):
+                obs.merge(snapshot, task=tasks[slot].key)
 
-        outcomes = pool.run(range(len(tasks)), on_complete, tasks=tasks)
+        outcomes = executor.drain(on_complete)
         if OBS.enabled:
             OBS.count("fsim.shard.passes")
             OBS.count("fsim.shard.tasks", len(tasks))
@@ -461,7 +485,7 @@ class FaultGrader:
                 OBS.observe("fsim.shard.faults_per_shard", len(shard))
         out: list[set[TransitionFault]] = [set() for _ in groups]
         for i, shard in enumerate(shards):
-            result = outcomes.get(i)
+            result = outcomes[i]
             if result is None or isinstance(result, TaskFailure):
                 # The pool already burned this shard's retry budget: the
                 # last resort is grading it in-process.

@@ -12,7 +12,13 @@ File format (``repro-resume-v1``) -- one JSON object per line:
 The *fingerprint* is a stable hash of the campaign parameters (targets,
 drivers, generator config, ...); resuming against a journal written for
 different parameters raises :class:`CheckpointError` rather than
-silently mixing incompatible rows.  Task results are arbitrary Python
+silently mixing incompatible rows.  Pure-throughput knobs are
+deliberately **excluded** from fingerprints: callers normalize ``jobs``
+/ ``shards`` out of the hashed config, and the execution backend
+(:mod:`repro.exec`) never enters it at all, so a journal written by a
+``--executor remote`` campaign on one host resumes under ``inprocess``
+or ``pool`` on another -- same keys, same derived seeds, same rows.
+Task results are arbitrary Python
 objects (dataclasses holding fault sets), so rows carry them pickled and
 base64-wrapped inside the JSON envelope; ``snapshot`` is the worker's
 plain-dict :meth:`repro.obs.registry.MetricsRegistry.snapshot`, merged

@@ -40,6 +40,13 @@ many small batches -- the sharded fault grader
 pays the process spawn cost once.  Call :meth:`SelfHealingPool.close`
 (or use the pool as a context manager) when done; an exception escaping
 ``run`` closes the pool so no orphan workers linger.
+
+Callers normally reach this pool through the execution plane
+(:class:`repro.exec.localpool.LocalPoolExecutor`, ``--executor pool``)
+rather than directly; the worker-side attempt body
+(:func:`attempt_reply`) is likewise shared with the remote socket
+workers of :mod:`repro.exec.remote`, so every backend reports results,
+errors, and obs snapshots in the same shape.
 """
 
 from __future__ import annotations
@@ -65,13 +72,44 @@ from repro.resilience.policy import (
 _JOIN_TIMEOUT_S = 2.0
 
 
+def attempt_reply(
+    index: int, task: Any, attempt: int, collect: bool
+) -> tuple[int, str, Any, dict | None]:
+    """One task attempt in this process, shaped as a worker reply tuple.
+
+    Returns ``(index, "ok", result, snapshot|None)`` on success or
+    ``(index, "error", message, None)`` on an exception the worker
+    survives.  The attempt body -- cooperative deadline, per-task obs
+    registry + ``runner.task`` span when ``collect``, the ``runner.task``
+    fault point with hard-death ``crash`` semantics -- is shared by the
+    local pool workers (:func:`_worker_main`) and the remote socket
+    workers (:func:`repro.exec.remote.worker_loop`), which is what keeps
+    every backend's failure surface and metrics identical.  A hard crash
+    (``os._exit`` via an armed fault point, a segfault, the OOM killer)
+    never returns; the parent sees EOF on the connection instead.
+    """
+    set_task_deadline(task.timeout_s)
+    try:
+        if collect:
+            obs.reset()
+            obs.enable()
+            with obs.span("runner.task", key=task.key, attempt=attempt):
+                faultpoints.check("runner.task", task.key, attempt, in_worker=True)
+                result = task.fn(**dict(task.kwargs))
+            return (index, "ok", result, obs.snapshot())
+        faultpoints.check("runner.task", task.key, attempt, in_worker=True)
+        return (index, "ok", task.fn(**dict(task.kwargs)), None)
+    except Exception as exc:  # degrade, never kill the worker loop
+        return (index, "error", f"{type(exc).__name__}: {exc}", None)
+    finally:
+        clear_task_deadline()
+
+
 def _worker_main(conn: Connection, collect: bool, fault_spec: str | None) -> None:
     """Worker loop: receive ``(index, task, attempt)``, send back the outcome.
 
-    Replies are ``(index, "ok", result, snapshot|None)`` or
-    ``(index, "error", message, None)``.  A hard crash (``os._exit`` via
-    an armed fault point, a segfault, the OOM killer) sends nothing; the
-    parent sees EOF on the pipe instead.
+    Replies are :func:`attempt_reply` tuples.  A hard crash sends
+    nothing; the parent sees EOF on the pipe instead.
     """
     faultpoints.install(fault_spec)
     try:
@@ -83,25 +121,7 @@ def _worker_main(conn: Connection, collect: bool, fault_spec: str | None) -> Non
             if item is None:
                 return
             index, task, attempt = item
-            set_task_deadline(task.timeout_s)
-            try:
-                if collect:
-                    obs.reset()
-                    obs.enable()
-                    with obs.span("runner.task", key=task.key, attempt=attempt):
-                        faultpoints.check(
-                            "runner.task", task.key, attempt, in_worker=True
-                        )
-                        result = task.fn(**dict(task.kwargs))
-                    reply = (index, "ok", result, obs.snapshot())
-                else:
-                    faultpoints.check("runner.task", task.key, attempt, in_worker=True)
-                    reply = (index, "ok", task.fn(**dict(task.kwargs)), None)
-            except Exception as exc:  # degrade, never kill the worker loop
-                reply = (index, "error", f"{type(exc).__name__}: {exc}", None)
-            finally:
-                clear_task_deadline()
-            conn.send(reply)
+            conn.send(attempt_reply(index, task, attempt, collect))
     finally:
         conn.close()
 
