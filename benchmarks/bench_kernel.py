@@ -21,6 +21,12 @@ performance trajectory.  Two workloads:
   fault list, so most candidate seeds fail and batching pays).  The
   accepted segment lists are asserted bit-identical before timing; the
   batched path must clear a 5x seeds-evaluated/sec floor.
+* **array kernel** (the ``--kernel array`` / ``--lanes`` path): the same
+  4096-lane packed workload run as 64 sequential word-kernel chunks and
+  as one numpy ``uint64`` array-kernel invocation on s1423 and b14;
+  every 64-lane chunk is asserted bit-identical (switching counts and
+  state trajectories) before timing, and the array kernel must clear a
+  5x per-lane throughput floor over the packed word kernel.
 * **observability overhead** (the ``repro.obs`` budget): the same
   end-to-end generation run on s1423 with metric collection enabled vs
   disabled; the enabled run must stay within a 2% wall-time overhead,
@@ -60,6 +66,8 @@ import tempfile
 import time
 from pathlib import Path
 
+import numpy as np
+
 from repro import cache as artifact_cache
 from repro import obs
 from repro.circuits.benchmarks import available, entry, get_circuit
@@ -69,7 +77,12 @@ from repro.core.compiled import compile_circuit
 from repro.faults.collapse import collapsed_transition_faults
 from repro.faults.fsim import FaultGrader, TransitionFaultSimulator
 from repro.faults.lists import all_transition_faults
-from repro.logic.bitsim import simulate_sequences_packed
+from repro.core import kernel as kernel_backend
+from repro.logic.bitsim import (
+    simulate_packed_arrays,
+    simulate_packed_words,
+    simulate_sequences_packed,
+)
 from repro.logic.reference import (
     grade_transition_faults_reference,
     simulate_sequence_reference,
@@ -91,6 +104,18 @@ GENERATION_CIRCUITS = ("s1423", "b14")
 
 #: Required batched-vs-scalar speedup in seeds evaluated per second.
 GENERATION_SPEEDUP_FLOOR = 5.0
+
+#: Circuits for the array-kernel workload (the ISSUE's speedup targets).
+ARRAY_KERNEL_CIRCUITS = ("s1423", "b14")
+
+#: Lanes per array-kernel invocation.  The numpy kernel's per-cycle cost
+#: is nearly flat in the word count (it is dominated by per-level numpy
+#: call overhead), so wide batches are where it amortizes; 4096 lanes is
+#: comfortably past the crossover on every bundled circuit.
+ARRAY_KERNEL_LANES = 4096
+
+#: Required array-vs-word per-lane throughput speedup at that width.
+ARRAY_KERNEL_SPEEDUP_FLOOR = 5.0
 
 #: Circuit the observability-overhead gate is measured on.
 OBS_CIRCUIT = "s1423"
@@ -306,6 +331,81 @@ def bench_builtin_generation(
             f"{accepted} accepted): scalar {t_scalar:.3f} s "
             f"({seeds / t_scalar:8.1f} seeds/s) | batched {t_batched:.3f} s "
             f"({seeds / t_batched:8.1f} seeds/s) | speedup {speedup:.1f}x"
+        )
+    return out
+
+
+def bench_array_kernel(
+    length: int, n_lanes: int, repeats: int
+) -> dict[str, dict[str, object]]:
+    """Packed word kernel vs numpy array kernel, bit-identity asserted.
+
+    The same ``n_lanes``-wide random workload is simulated as
+    ``n_lanes / 64`` sequential :func:`simulate_packed_words` runs and as
+    one :func:`simulate_packed_arrays` invocation; both sides carry the
+    same total lane count, so the wall-clock ratio *is* the per-lane
+    throughput ratio.  Before timing, every 64-lane chunk of the array
+    result is asserted equal to its word-kernel run -- switching counts
+    and the full packed state trajectory.
+    """
+    out: dict[str, dict[str, object]] = {}
+    n_words = n_lanes // 64
+    for name in ARRAY_KERNEL_CIRCUITS:
+        circuit = get_circuit(name)
+        cc = compile_circuit(circuit)
+        rng = random.Random(53)
+        init = [0] * len(circuit.flops)
+        n_inputs = len(circuit.inputs)
+        arr = np.zeros((length, n_inputs, n_words), dtype=np.uint64)
+        chunk_rows = []
+        for c in range(n_words):
+            rows = [
+                [rng.getrandbits(64) for _ in range(n_inputs)]
+                for _ in range(length)
+            ]
+            chunk_rows.append(rows)
+            for i in range(length):
+                arr[i, :, c] = np.array(rows[i], dtype=np.uint64)
+
+        packed_a = simulate_packed_arrays(
+            circuit, init, arr, n_lanes, compiled=cc
+        )
+        state_arr = np.asarray(packed_a.state_words)
+        for c, rows in enumerate(chunk_rows):
+            packed_w = simulate_packed_words(circuit, init, rows, 64, compiled=cc)
+            assert (
+                packed_a.switching_counts[:, c * 64 : (c + 1) * 64]
+                == packed_w.switching_counts
+            ).all(), f"{name}: chunk {c} switching diverges: bench aborted"
+            word_states = np.array(packed_w.state_words, dtype=np.uint64)
+            assert (state_arr[:, :, c] == word_states).all(), (
+                f"{name}: chunk {c} state trajectory diverges: bench aborted"
+            )
+
+        def run_words():
+            for rows in chunk_rows:
+                simulate_packed_words(circuit, init, rows, 64, compiled=cc)
+
+        t_word = _best_of(repeats, run_words)
+        t_array = _best_of(
+            repeats,
+            lambda: simulate_packed_arrays(circuit, init, arr, n_lanes, compiled=cc),
+        )
+        speedup = t_word / t_array if t_array else 0.0
+        out[name] = {
+            "lines": circuit.num_lines,
+            "cycles": length,
+            "lanes": n_lanes,
+            "word_chunks_s": t_word,
+            "array_s": t_array,
+            "word_per_lane_cycle_us": 1e6 * t_word / (n_lanes * length),
+            "array_per_lane_cycle_us": 1e6 * t_array / (n_lanes * length),
+            "per_lane_speedup": speedup,
+        }
+        print(
+            f"  {name:8s} ({circuit.num_lines:5d} lines, {n_lanes} lanes x "
+            f"{length} cycles): word {t_word:.3f} s | array {t_array:.3f} s | "
+            f"per-lane speedup {speedup:.2f}x"
         )
     return out
 
@@ -636,6 +736,13 @@ def main(argv: list[str] | None = None) -> int:
     grading = bench_fault_grading(largest, n_tests, n_faults, repeats)
     print("built-in generation (scalar vs 64-lane batched seed trials):")
     generation = bench_builtin_generation(gen_length, gen_faults, repeats)
+    print(
+        f"array kernel (packed word chunks vs numpy uint64 at "
+        f"{ARRAY_KERNEL_LANES} lanes):"
+    )
+    array_kernel = bench_array_kernel(
+        24 if args.quick else 100, ARRAY_KERNEL_LANES, repeats
+    )
     print(f"fault-sharded grading (serial vs {SHARDING_SHARDS} shards on {largest}):")
     sharding = bench_fault_sharding(largest, shard_tests, shard_faults, repeats)
     print(f"artifact-cache warm start (cold vs warm setup on {CACHE_CIRCUIT}):")
@@ -655,6 +762,7 @@ def main(argv: list[str] | None = None) -> int:
         "benchmark": "kernel",
         "unix_time": int(time.time()),
         "python": sys.version.split()[0],
+        "kernel_backend": kernel_backend.active(),
         "workload": {
             "sequence_cycles": length,
             "grading_tests": n_tests,
@@ -668,6 +776,7 @@ def main(argv: list[str] | None = None) -> int:
         "sequence_simulation": sequences,
         "fault_grading": grading,
         "builtin_generation": generation,
+        "array_kernel": array_kernel,
         "observability": observability,
         "fault_sharding": sharding,
         "cache_warm_start": cache_warm,
@@ -685,6 +794,15 @@ def main(argv: list[str] | None = None) -> int:
                 f"WARNING: batched generation on {name} below the "
                 f"{GENERATION_SPEEDUP_FLOOR:.0f}x floor "
                 f"({row['speedup']:.1f}x)",
+                file=sys.stderr,
+            )
+            status = 1
+    for name, row in array_kernel.items():
+        if row["per_lane_speedup"] < ARRAY_KERNEL_SPEEDUP_FLOOR:
+            print(
+                f"WARNING: array kernel on {name} below the "
+                f"{ARRAY_KERNEL_SPEEDUP_FLOOR:.0f}x per-lane floor "
+                f"({row['per_lane_speedup']:.1f}x)",
                 file=sys.stderr,
             )
             status = 1

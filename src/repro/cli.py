@@ -40,6 +40,17 @@ start workers on any host with ``repro-eda worker --connect HOST:PORT``.
 Bad ``--jobs`` / ``--shards`` / ``--executor`` values fail fast with
 exit code 2 before any work is dispatched.
 
+Kernel backends (see :mod:`repro.core.kernel`): ``generate`` and
+``table`` accept ``--kernel {word,array}`` (equivalently
+``REPRO_KERNEL``, which pool/remote workers inherit) to pick the
+evaluation kernel -- the exec-generated packed word kernel (64 lanes
+per Python int, the default) or the numpy ``uint64`` array kernel
+(N x 64 lanes per invocation) -- and ``--lanes N`` (a positive multiple
+of 64) to widen the candidate-seed batches of the Fig 4.9 loop; widths
+above 64 engage the array kernel automatically.  Both backends are
+bit-identical, so these too are pure throughput knobs; bad values fail
+fast with exit code 2.
+
 All output is plain text; every command is deterministic for fixed seeds.
 """
 
@@ -89,11 +100,12 @@ def _cache_setup(args: argparse.Namespace) -> None:
 
 
 def _validate_dispatch(args: argparse.Namespace) -> str | None:
-    """Fail-fast guard for ``--jobs`` / ``--shards`` / ``--executor``.
+    """Fail-fast guard for ``--jobs``/``--shards``/``--executor``/``--kernel``/``--lanes``.
 
     Returns the error message to print (the caller exits 2), or ``None``
     when every dispatch knob the subcommand carries is valid.
     """
+    from repro.core.kernel import validate_kernel, validate_lanes
     from repro.exec import validate_executor_kind, validate_jobs, validate_shards
 
     try:
@@ -102,9 +114,34 @@ def _validate_dispatch(args: argparse.Namespace) -> str | None:
         kind = getattr(args, "executor", None)
         if kind is not None:
             validate_executor_kind(kind)
+        kernel = validate_kernel(getattr(args, "kernel", None))
+        lanes = validate_lanes(getattr(args, "lanes", None))
+        if kernel == "word" and lanes is not None and lanes > 64:
+            raise ValueError(
+                f"--lanes {lanes} exceeds the word kernel's 64-lane words: "
+                "drop --kernel word or select --kernel array"
+            )
     except ValueError as exc:
         return str(exc)
     return None
+
+
+def _kernel_setup(args: argparse.Namespace) -> None:
+    """Select the kernel backend when ``--kernel`` asks for one.
+
+    The choice is also exported as ``REPRO_KERNEL`` so worker processes
+    (``--jobs``, ``--shards``, remote workers) evaluate through the same
+    backend -- not for correctness (the backends are bit-identical) but so
+    a requested speedup actually happens where the cycles are spent.
+    """
+    import os
+
+    from repro.core import kernel
+
+    kind = getattr(args, "kernel", None)
+    if kind:
+        os.environ[kernel.ENV_VAR] = kind
+        kernel.configure(kind)
 
 
 def _build_executor(args: argparse.Namespace, jobs: int | None = None):
@@ -219,6 +256,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     if problem is not None:
         print(f"error: {problem}", file=sys.stderr)
         return 2
+    _kernel_setup(args)
     executor = None
     if args.executor:
         try:
@@ -251,6 +289,7 @@ def _run_generate(args: argparse.Namespace, executor=None) -> int:
         time_limit=args.time_limit,
         rng_seed=args.seed,
         grade_shards=args.shards,
+        lanes=args.lanes,
     )
     swa_func = None
     if args.driver:
@@ -342,6 +381,7 @@ def _cmd_table(args: argparse.Namespace) -> int:
     if problem is not None:
         print(f"error: {problem}", file=sys.stderr)
         return 2
+    _kernel_setup(args)
     executor = None
     if args.executor and args.table in ("4.3", "4.4"):
         try:
@@ -402,7 +442,10 @@ def _run_table(args: argparse.Namespace, executor=None) -> int:
                 targets=("s27", "s298"),
                 drivers=("s344", "s953"),
                 config=BuiltinGenConfig(
-                    segment_length=120, time_limit=10, grade_shards=args.shards
+                    segment_length=120,
+                    time_limit=10,
+                    grade_shards=args.shards,
+                    lanes=args.lanes,
                 ),
                 jobs=args.jobs,
                 progress=progress,
@@ -437,7 +480,10 @@ def _run_table(args: argparse.Namespace, executor=None) -> int:
         from repro.resilience import TaskFailure
 
         config = BuiltinGenConfig(
-            segment_length=120, time_limit=10, grade_shards=args.shards
+            segment_length=120,
+            time_limit=10,
+            grade_shards=args.shards,
+            lanes=args.lanes,
         )
         base = run_table_4_3(
             targets=("s27", "s298"),
@@ -539,6 +585,27 @@ def _add_executor_args(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_kernel_args(p: argparse.ArgumentParser) -> None:
+    """Attach the kernel-backend flags shared by ``generate`` and ``table``."""
+    p.add_argument(
+        "--kernel",
+        metavar="BACKEND",
+        default=None,
+        help="evaluation kernel: word (packed 64-lane Python ints, the "
+        "default) or array (numpy uint64 lanes); same as REPRO_KERNEL, "
+        "which workers inherit (results are identical for any backend)",
+    )
+    p.add_argument(
+        "--lanes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="candidate seeds evaluated per packed trial, a positive "
+        "multiple of 64; above 64 the array kernel engages automatically "
+        "(results are identical for any value)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -591,6 +658,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", metavar="FILE", help="write the span trace as JSONL to FILE"
     )
     _add_executor_args(p)
+    _add_kernel_args(p)
     p.set_defaults(func=_cmd_generate)
 
     p = sub.add_parser("tpdf", help="transition path delay fault ATPG")
@@ -672,6 +740,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", metavar="FILE", help="write the merged span trace as JSONL to FILE"
     )
     _add_executor_args(p)
+    _add_kernel_args(p)
     p.set_defaults(func=_cmd_table)
 
     p = sub.add_parser("cache", help="inspect or clear the artifact cache")

@@ -1,0 +1,82 @@
+"""Kernel backend selection: the packed word kernel vs numpy array kernel.
+
+Two bit-identical evaluation backends sit behind
+:class:`repro.core.compiled.CompiledCircuit`:
+
+``word``
+    The exec-generated straight-line Python kernel over arbitrary-precision
+    ``int`` words (:meth:`CompiledCircuit.eval_words`).  One word carries up
+    to 64 lanes; each gate costs one Python bytecode dispatch.  This is the
+    default and the fallback everywhere.
+
+``array``
+    A levelized numpy ``uint64`` kernel (:meth:`CompiledCircuit.eval_arrays`)
+    evaluating shape ``(n_words,)`` rows, so a single invocation simulates
+    ``n_words * 64`` lanes with a handful of vectorized ops per level
+    instead of one dispatch per gate.
+
+Both backends produce byte-identical results (pinned by tests); selection
+is purely a throughput knob.  Resolution order: an explicit
+:func:`configure` call wins, then the ``REPRO_KERNEL`` environment variable
+(exported by the CLI so pool/remote workers inherit the choice), then
+``word``.
+"""
+
+from __future__ import annotations
+
+import os
+
+#: Recognized kernel backend names.
+KERNEL_KINDS: tuple[str, ...] = ("word", "array")
+
+#: Environment variable carrying the selected backend across processes.
+ENV_VAR = "REPRO_KERNEL"
+
+_configured: str | None = None
+
+
+def validate_kernel(kind: str | None) -> str | None:
+    """Validate a kernel backend name, returning it for chaining.
+
+    ``None`` (not specified) is accepted; anything else must be a member of
+    :data:`KERNEL_KINDS`.  Raises :class:`ValueError` otherwise, mirroring
+    :func:`repro.exec.validate_executor_kind`.
+    """
+    if kind is not None and kind not in KERNEL_KINDS:
+        raise ValueError(
+            f"unknown kernel {kind!r}: expected one of {', '.join(KERNEL_KINDS)}"
+        )
+    return kind
+
+
+def validate_lanes(lanes: int | None) -> int | None:
+    """Validate a lane-count override, returning it for chaining.
+
+    ``None`` keeps the per-consumer default.  An explicit value must be a
+    positive multiple of 64 -- lanes are packed 64 to a ``uint64`` word and
+    partial words would silently waste the tail.  Raises
+    :class:`ValueError` otherwise.
+    """
+    if lanes is None:
+        return None
+    if lanes < 1:
+        raise ValueError(f"lanes must be a positive multiple of 64, got {lanes}")
+    if lanes % 64:
+        raise ValueError(f"lanes must be a multiple of 64, got {lanes}")
+    return lanes
+
+
+def configure(kind: str | None) -> None:
+    """Select the process-wide kernel backend (``None`` reverts to env/default)."""
+    global _configured
+    _configured = validate_kernel(kind)
+
+
+def active() -> str:
+    """The kernel backend in effect: configured > ``REPRO_KERNEL`` > ``word``."""
+    if _configured is not None:
+        return _configured
+    env = os.environ.get(ENV_VAR)
+    if env:
+        return validate_kernel(env)  # type: ignore[return-value]
+    return "word"

@@ -1,0 +1,366 @@
+"""Cross-kernel identity: the numpy array backend against the word kernel.
+
+The array kernel (``--kernel array`` / ``REPRO_KERNEL=array``, and any
+``--lanes`` width above 64) must be a pure throughput knob: every packed
+trajectory, every accepted segment, and every detection word must be
+bit-identical to the packed 64-lane word kernel, which in turn is pinned
+against the scalar oracle elsewhere.  These tests hold that contract
+lane by lane on ``simulate_packed_arrays``, end to end on the Fig 4.9
+construction loop at 128/256 lanes, and on PPSFP fault grading.
+"""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.benchmarks import get_circuit
+from repro.circuits.generator import GeneratorSpec, generate
+from repro.cli import main
+from repro.core import kernel
+from repro.core.builtin_gen import BuiltinGenConfig, BuiltinGenerator
+from repro.core.compiled import compile_circuit
+from repro.faults.collapse import collapsed_transition_faults
+from repro.faults.fsim import TransitionFaultSimulator
+from repro.logic.bitsim import (
+    lane_mask_row,
+    simulate_packed_arrays,
+    simulate_packed_words,
+    unpack_lane_bits,
+    unpack_lane_bits_array,
+)
+from repro.logic.simulator import make_broadside_test
+
+
+@pytest.fixture(autouse=True)
+def _reset_kernel(monkeypatch):
+    """Keep kernel selection hermetic: no env or configure leaks out."""
+    monkeypatch.delenv(kernel.ENV_VAR, raising=False)
+    yield
+    kernel.configure(None)
+
+
+class TestKernelSelection:
+    def test_validate_kernel(self):
+        assert kernel.validate_kernel(None) is None
+        assert kernel.validate_kernel("word") == "word"
+        assert kernel.validate_kernel("array") == "array"
+        with pytest.raises(ValueError, match="unknown kernel 'simd'"):
+            kernel.validate_kernel("simd")
+
+    def test_validate_lanes(self):
+        assert kernel.validate_lanes(None) is None
+        assert kernel.validate_lanes(64) == 64
+        assert kernel.validate_lanes(256) == 256
+        with pytest.raises(ValueError, match="positive multiple of 64"):
+            kernel.validate_lanes(0)
+        with pytest.raises(ValueError, match="positive multiple of 64"):
+            kernel.validate_lanes(-64)
+        with pytest.raises(ValueError, match="multiple of 64, got 100"):
+            kernel.validate_lanes(100)
+
+    def test_active_resolution_order(self, monkeypatch):
+        assert kernel.active() == "word"
+        monkeypatch.setenv(kernel.ENV_VAR, "array")
+        assert kernel.active() == "array"
+        kernel.configure("word")  # explicit configure beats the env
+        assert kernel.active() == "word"
+        kernel.configure(None)  # reverting falls back to the env
+        assert kernel.active() == "array"
+
+    def test_configure_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown kernel"):
+            kernel.configure("bogus")
+        assert kernel.active() == "word"
+
+
+def _lane_bits_to_words(bits, n_lanes):
+    """Pack per-lane bits into the word-kernel and array-kernel forms."""
+    length = len(bits)
+    n_inputs = len(bits[0]) if length else 0
+    n_words = (n_lanes + 63) // 64
+    arr = np.zeros((length, n_inputs, n_words), dtype=np.uint64)
+    for i in range(length):
+        for j in range(n_inputs):
+            for t, b in enumerate(bits[i][j]):
+                if b:
+                    arr[i, j, t // 64] |= np.uint64(1) << np.uint64(t % 64)
+    return arr
+
+
+def _assert_lanes_match(circuit, packed_a, init, arr, n_lanes, length, hold_idx):
+    """Every 64-lane chunk of an array run equals its word-kernel run."""
+    cc = compile_circuit(circuit)
+    n_inputs = len(circuit.inputs)
+    for c0 in range((n_lanes + 63) // 64):
+        lanes = min(64, n_lanes - c0 * 64)
+        pi_rows = [
+            [int(arr[i, j, c0]) for j in range(n_inputs)] for i in range(length)
+        ]
+        packed_w = simulate_packed_words(
+            circuit, init, pi_rows, lanes,
+            hold_indices=hold_idx, compiled=cc,
+        )
+        np.testing.assert_array_equal(
+            packed_a.switching_counts[:, c0 * 64 : c0 * 64 + lanes],
+            packed_w.switching_counts,
+        )
+        for t in range(lanes):
+            word_states = packed_w.lane_states(t, length)
+            for cyc in range(length + 1):
+                assert packed_a.lane_state(cyc, c0 * 64 + t) == word_states[cyc]
+
+
+class TestArrayMatchesWords:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        n_lanes=st.integers(1, 200),
+        use_hold=st.booleans(),
+    )
+    def test_lane_by_lane_identity(self, seed, n_lanes, use_hold):
+        """simulate_packed_arrays == simulate_packed_words per 64-lane chunk."""
+        c = get_circuit("s298")
+        rng = random.Random(seed)
+        length = 9
+        init = [rng.randint(0, 1) for _ in c.flops]
+        bits = [
+            [[rng.randint(0, 1) for _ in range(n_lanes)] for _ in c.inputs]
+            for _ in range(length)
+        ]
+        arr = _lane_bits_to_words(bits, n_lanes)
+        hold_idx = [0, 2, 5] if use_hold else None
+        packed_a = simulate_packed_arrays(
+            c, init, arr, n_lanes, hold_indices=hold_idx
+        )
+        _assert_lanes_match(c, packed_a, init, arr, n_lanes, length, hold_idx)
+
+    def test_random_circuit_cross_check(self):
+        spec = GeneratorSpec(
+            name="kernel-mini", n_inputs=5, n_outputs=3, n_flops=6, n_gates=60
+        )
+        c = generate(spec)
+        rng = random.Random(11)
+        n_lanes, length = 130, 7
+        init = [rng.randint(0, 1) for _ in c.flops]
+        bits = [
+            [[rng.randint(0, 1) for _ in range(n_lanes)] for _ in c.inputs]
+            for _ in range(length)
+        ]
+        arr = _lane_bits_to_words(bits, n_lanes)
+        packed_a = simulate_packed_arrays(c, init, arr, n_lanes)
+        _assert_lanes_match(c, packed_a, init, arr, n_lanes, length, None)
+
+    def test_count_lines_subset(self):
+        c = get_circuit("s298")
+        rng = random.Random(4)
+        n_lanes, length = 96, 6
+        init = [0] * len(c.flops)
+        bits = [
+            [[rng.randint(0, 1) for _ in range(n_lanes)] for _ in c.inputs]
+            for _ in range(length)
+        ]
+        arr = _lane_bits_to_words(bits, n_lanes)
+        sub_a = simulate_packed_arrays(
+            c, init, arr, n_lanes, count_lines=c.inputs
+        )
+        cc = compile_circuit(c)
+        for c0 in range(2):
+            lanes = min(64, n_lanes - c0 * 64)
+            pi_rows = [
+                [int(arr[i, j, c0]) for j in range(len(c.inputs))]
+                for i in range(length)
+            ]
+            sub_w = simulate_packed_words(
+                c, init, pi_rows, lanes, count_lines=c.inputs, compiled=cc
+            )
+            np.testing.assert_array_equal(
+                sub_a.switching_counts[:, c0 * 64 : c0 * 64 + lanes],
+                sub_w.switching_counts,
+            )
+
+    def test_mask_row_partial_top_word(self):
+        row = lane_mask_row(70)
+        assert row.shape == (2,)
+        assert int(row[0]) == 0xFFFFFFFFFFFFFFFF
+        assert int(row[1]) == (1 << 6) - 1
+
+    def test_unpack_lane_bits_array_matches_word_form(self):
+        """Each 64-lane slice equals the word-form helper on that chunk."""
+        rng = random.Random(6)
+        n_lanes = 150
+        n_words = (n_lanes + 63) // 64
+        rows_int = [
+            [rng.getrandbits(n_lanes) for _ in range(5)] for _ in range(8)
+        ]
+        arr = np.zeros((8, 5, n_words), dtype=np.uint64)
+        for i, row in enumerate(rows_int):
+            for j, word in enumerate(row):
+                for c0 in range(n_words):
+                    arr[i, j, c0] = (word >> (64 * c0)) & 0xFFFFFFFFFFFFFFFF
+        bits = unpack_lane_bits_array(arr, n_lanes)
+        for c0 in range(n_words):
+            lanes = min(64, n_lanes - c0 * 64)
+            chunk_rows = [
+                [(word >> (64 * c0)) & 0xFFFFFFFFFFFFFFFF for word in row]
+                for row in rows_int
+            ]
+            np.testing.assert_array_equal(
+                bits[:, :, c0 * 64 : c0 * 64 + lanes],
+                unpack_lane_bits(chunk_rows, lanes),
+            )
+
+    def test_rejects_shape_mismatches(self):
+        c = get_circuit("s27")
+        arr = np.zeros((3, len(c.inputs), 2), dtype=np.uint64)
+        with pytest.raises(ValueError, match="n_lanes=0"):
+            simulate_packed_arrays(c, [0, 0, 0], arr, 0)
+        with pytest.raises(ValueError, match="carry 2 words"):
+            simulate_packed_arrays(c, [0, 0, 0], arr, 64)
+        bad = np.zeros((3, len(c.inputs) + 1, 1), dtype=np.uint64)
+        with pytest.raises(ValueError, match="expected"):
+            simulate_packed_arrays(c, [0, 0, 0], bad, 64)
+
+
+def _gen_result(circuit, faults, **overrides):
+    params = dict(
+        segment_length=40,
+        r_limit=130,
+        q_limit=2,
+        rng_seed=7,
+        time_limit=None,
+    )
+    params.update(overrides)
+    cfg = BuiltinGenConfig(**params)
+    gen = BuiltinGenerator(circuit, faults, None, config=cfg)
+    return gen, gen.run()
+
+
+def _assert_same_run(pair_a, pair_b):
+    (gen_a, res_a), (gen_b, res_b) = pair_a, pair_b
+    segs_a = [seg for m in res_a.sequences for seg in m.segments]
+    segs_b = [seg for m in res_b.sequences for seg in m.segments]
+    assert segs_a == segs_b
+    assert res_a.coverage == res_b.coverage
+    assert res_a.peak_swa == res_b.peak_swa
+    assert res_a.detected == res_b.detected
+    assert gen_a.stats.seeds_evaluated == gen_b.stats.seeds_evaluated
+    assert gen_a.stats.seeds_accepted == gen_b.stats.seeds_accepted
+
+
+@pytest.mark.parametrize("name", ["s298", "s953"])
+class TestBuiltinGenWideLanes:
+    """The Fig 4.9 loop at 128/256 lanes == 64 lanes == scalar.
+
+    ``r_limit`` is deliberately large (130) so the per-segment trial
+    budget does not cap batch widths below 64 -- otherwise the array
+    engine would never engage and the test would vacuously pass.
+    """
+
+    def test_wide_lanes_match_scalar_and_64(self, name):
+        c = get_circuit(name)
+        faults = collapsed_transition_faults(c)
+        scalar = _gen_result(c, faults, batched=False)
+        word64 = _gen_result(c, faults, batch_lanes=64)
+        assert word64[0].stats.array_batches == 0
+        for lanes in (128, 256):
+            wide = _gen_result(c, faults, lanes=lanes)
+            assert wide[0].stats.array_batches > 0, "array engine never ran"
+            _assert_same_run(scalar, wide)
+            _assert_same_run(word64, wide)
+
+    def test_forced_array_kernel_at_64_lanes(self, name):
+        """--kernel array reroutes even 64-wide batches, identically."""
+        c = get_circuit(name)
+        faults = collapsed_transition_faults(c)
+        word64 = _gen_result(c, faults, batch_lanes=64)
+        kernel.configure("array")
+        try:
+            arr64 = _gen_result(c, faults, batch_lanes=64)
+        finally:
+            kernel.configure(None)
+        assert arr64[0].stats.array_batches > 0
+        _assert_same_run(word64, arr64)
+
+
+class TestFsimKernelIdentity:
+    def _random_tests(self, circuit, n, seed=3):
+        rng = random.Random(seed)
+        tests = []
+        for _ in range(n):
+            state = [rng.randint(0, 1) for _ in circuit.flops]
+            v1 = [rng.randint(0, 1) for _ in circuit.inputs]
+            v2 = [rng.randint(0, 1) for _ in circuit.inputs]
+            tests.append(make_broadside_test(circuit, state, v1, v2))
+        return tests
+
+    @pytest.mark.parametrize("name", ["s298", "s953"])
+    def test_detection_words_identical(self, name):
+        c = get_circuit(name)
+        faults = collapsed_transition_faults(c)
+        tests = self._random_tests(c, 100)
+        words = TransitionFaultSimulator(c).detection_words(tests, faults)
+        kernel.configure("array")
+        try:
+            sim = TransitionFaultSimulator(c)
+            assert sim._kernel == "array"
+            words_arr = sim.detection_words(tests, faults)
+        finally:
+            kernel.configure(None)
+        assert words == words_arr
+
+    def test_chunk_boundary_identical(self):
+        """Sets spanning multiple PPSFP chunks stay identical per chunk."""
+        c = get_circuit("s298")
+        faults = collapsed_transition_faults(c)
+        tests = self._random_tests(c, 40, seed=9)
+        words = TransitionFaultSimulator(c, chunk_size=16).detection_words(
+            tests, faults
+        )
+        kernel.configure("array")
+        try:
+            words_arr = TransitionFaultSimulator(
+                c, chunk_size=16
+            ).detection_words(tests, faults)
+        finally:
+            kernel.configure(None)
+        assert words == words_arr
+
+
+class TestCliKernelFlags:
+    """Bad --kernel / --lanes values fail fast with exit code 2."""
+
+    def test_unknown_kernel(self, capsys):
+        assert main(["generate", "s27", "--kernel", "simd"]) == 2
+        assert "unknown kernel 'simd'" in capsys.readouterr().err
+
+    def test_lanes_not_multiple_of_64(self, capsys):
+        assert main(["generate", "s27", "--lanes", "100"]) == 2
+        assert "multiple of 64" in capsys.readouterr().err
+
+    def test_lanes_non_positive(self, capsys):
+        assert main(["generate", "s27", "--lanes", "0"]) == 2
+        assert "positive multiple of 64" in capsys.readouterr().err
+
+    def test_word_kernel_with_wide_lanes_conflicts(self, capsys):
+        assert main(
+            ["generate", "s27", "--kernel", "word", "--lanes", "128"]
+        ) == 2
+        assert "exceeds the word kernel" in capsys.readouterr().err
+
+    def test_table_validates_too(self, capsys):
+        assert main(["table", "4.2", "--kernel", "simd"]) == 2
+        assert "unknown kernel" in capsys.readouterr().err
+
+    def test_generate_with_array_kernel_runs(self, capsys):
+        code = main(
+            [
+                "generate", "s27",
+                "--length", "20", "--time-limit", "1",
+                "--kernel", "array", "--lanes", "128",
+            ]
+        )
+        assert code == 0
+        assert "FC" in capsys.readouterr().out

@@ -172,11 +172,33 @@ class TestCheckpointJournal:
         assert not j.has("k")
         assert len(path.read_text().splitlines()) == 1  # header only
 
-    def test_header_carries_schema(self, tmp_path):
+    def test_header_carries_schema(self, tmp_path, monkeypatch):
+        from repro.core import kernel
+
+        monkeypatch.delenv(kernel.ENV_VAR, raising=False)
         path = tmp_path / "ck.jsonl"
         CheckpointJournal.open(path, fingerprint="aaaa")
         header = json.loads(path.read_text().splitlines()[0])
-        assert header == {"schema": RESUME_SCHEMA, "fingerprint": "aaaa"}
+        assert header == {
+            "schema": RESUME_SCHEMA,
+            "fingerprint": "aaaa",
+            "kernel": "word",
+        }
+
+    def test_header_kernel_is_provenance_only(self, tmp_path, monkeypatch):
+        # A journal written under one backend resumes under the other:
+        # the backends are bit-identical, so the header field is purely
+        # informational and never gates a resume.
+        from repro.core import kernel
+
+        path = tmp_path / "ck.jsonl"
+        monkeypatch.setenv(kernel.ENV_VAR, "array")
+        CheckpointJournal.open(path, fingerprint="aaaa").record("k", 1)
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header["kernel"] == "array"
+        monkeypatch.delenv(kernel.ENV_VAR)
+        j = CheckpointJournal.open(path, fingerprint="aaaa", resume=True)
+        assert j.has("k") and j.result("k") == 1
 
     def test_non_journal_file_rejected(self, tmp_path):
         path = tmp_path / "ck.jsonl"
