@@ -48,10 +48,16 @@ performance trajectory.  Two workloads:
   identical and the executor wrapping must add < 5% wall-clock.
 
 Run directly: ``PYTHONPATH=src python benchmarks/bench_kernel.py``
-(options: ``--quick`` for a reduced workload).  Setting
-``REPRO_TRACE=<path>`` enables metric collection for the main workloads
-and writes the span trace as JSONL to ``<path>`` (view it with
-``repro-eda stats``).
+(options: ``--quick`` for a reduced workload; ``--sections LIST`` to run
+a comma-separated subset -- sections not run keep their previous values
+in the output file instead of being dropped).  Every payload is stamped
+with the repository code hash and a UTC timestamp, and ``--record``
+appends the run's samples to the experiment database (``--db PATH`` /
+``REPRO_DB``; gate them against history with ``repro-eda db gate``), so
+``BENCH_kernel.json`` is a view over the newest measurements rather than
+the only record of them.  Setting ``REPRO_TRACE=<path>`` enables metric
+collection for the main workloads and writes the span trace as JSONL to
+``<path>`` (view it with ``repro-eda stats``).
 """
 
 from __future__ import annotations
@@ -708,11 +714,59 @@ def bench_cache_warm_start(repeats: int) -> dict[str, object]:
     return result
 
 
+#: Every bench section, in run order (``--sections`` validates against it).
+SECTIONS = (
+    "observability",
+    "sequence_simulation",
+    "fault_grading",
+    "builtin_generation",
+    "array_kernel",
+    "fault_sharding",
+    "cache_warm_start",
+    "executor_overhead",
+)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true", help="reduced workload")
     parser.add_argument("--output", type=Path, default=OUTPUT)
+    parser.add_argument(
+        "--sections",
+        metavar="LIST",
+        default=None,
+        help="comma-separated subset of sections to run "
+        f"(choose from: {', '.join(SECTIONS)}); sections not run keep "
+        "their previous values in the output file",
+    )
+    parser.add_argument(
+        "--record",
+        action="store_true",
+        help="append this run's samples to the experiment database "
+        "(--db PATH or REPRO_DB; see repro.expdb and `repro-eda db gate`)",
+    )
+    parser.add_argument(
+        "--db",
+        metavar="PATH",
+        default=None,
+        help="experiment database path for --record (default: REPRO_DB)",
+    )
     args = parser.parse_args(argv)
+
+    if args.sections:
+        selected = tuple(s.strip() for s in args.sections.split(",") if s.strip())
+        unknown = sorted(set(selected) - set(SECTIONS))
+        if unknown:
+            print(
+                f"unknown section(s): {', '.join(unknown)} "
+                f"(choose from: {', '.join(SECTIONS)})",
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        selected = SECTIONS
+
+    from repro import expdb
 
     length = 60 if args.quick else 200
     n_tests = 16 if args.quick else 64
@@ -723,44 +777,69 @@ def main(argv: list[str] | None = None) -> int:
     shard_faults = 64 if args.quick else 320
     repeats = 1 if args.quick else 2
 
+    results: dict[str, dict] = {}
     # The overhead gate runs first: it owns the global registry's enabled
     # flag, so it must not clobber metrics a REPRO_TRACE run collects.
-    print("observability overhead (repro.obs enabled vs disabled):")
-    observability = bench_observability(repeats)
+    if "observability" in selected:
+        print("observability overhead (repro.obs enabled vs disabled):")
+        results["observability"] = bench_observability(repeats)
     trace_path = obs.enable_from_env()
 
-    print("sequence simulation (scalar reference vs compiled vs packed):")
-    sequences = bench_sequences(length, repeats)
+    if "sequence_simulation" in selected:
+        print("sequence simulation (scalar reference vs compiled vs packed):")
+        results["sequence_simulation"] = bench_sequences(length, repeats)
     largest = largest_circuit_name()
-    print(f"transition-fault grading on the largest bundled circuit ({largest}):")
-    grading = bench_fault_grading(largest, n_tests, n_faults, repeats)
-    print("built-in generation (scalar vs 64-lane batched seed trials):")
-    generation = bench_builtin_generation(gen_length, gen_faults, repeats)
-    print(
-        f"array kernel (packed word chunks vs numpy uint64 at "
-        f"{ARRAY_KERNEL_LANES} lanes):"
-    )
-    array_kernel = bench_array_kernel(
-        24 if args.quick else 100, ARRAY_KERNEL_LANES, repeats
-    )
-    print(f"fault-sharded grading (serial vs {SHARDING_SHARDS} shards on {largest}):")
-    sharding = bench_fault_sharding(largest, shard_tests, shard_faults, repeats)
-    print(f"artifact-cache warm start (cold vs warm setup on {CACHE_CIRCUIT}):")
-    cache_warm = bench_cache_warm_start(max(repeats, 2))
-    print(
-        f"executor dispatch overhead (raw pool vs LocalPoolExecutor on "
-        f"{EXECUTOR_CIRCUIT}):"
-    )
-    executor_overhead = bench_executor_overhead(
-        4 if args.quick else 8, 24 if args.quick else 60, max(repeats, 3)
-    )
+    if "fault_grading" in selected:
+        print(
+            f"transition-fault grading on the largest bundled circuit ({largest}):"
+        )
+        results["fault_grading"] = bench_fault_grading(
+            largest, n_tests, n_faults, repeats
+        )
+    if "builtin_generation" in selected:
+        print("built-in generation (scalar vs 64-lane batched seed trials):")
+        results["builtin_generation"] = bench_builtin_generation(
+            gen_length, gen_faults, repeats
+        )
+    if "array_kernel" in selected:
+        print(
+            f"array kernel (packed word chunks vs numpy uint64 at "
+            f"{ARRAY_KERNEL_LANES} lanes):"
+        )
+        results["array_kernel"] = bench_array_kernel(
+            24 if args.quick else 100, ARRAY_KERNEL_LANES, repeats
+        )
+    if "fault_sharding" in selected:
+        print(
+            f"fault-sharded grading (serial vs {SHARDING_SHARDS} shards "
+            f"on {largest}):"
+        )
+        results["fault_sharding"] = bench_fault_sharding(
+            largest, shard_tests, shard_faults, repeats
+        )
+    if "cache_warm_start" in selected:
+        print(f"artifact-cache warm start (cold vs warm setup on {CACHE_CIRCUIT}):")
+        results["cache_warm_start"] = bench_cache_warm_start(max(repeats, 2))
+    if "executor_overhead" in selected:
+        print(
+            f"executor dispatch overhead (raw pool vs LocalPoolExecutor on "
+            f"{EXECUTOR_CIRCUIT}):"
+        )
+        results["executor_overhead"] = bench_executor_overhead(
+            4 if args.quick else 8, 24 if args.quick else 60, max(repeats, 3)
+        )
     if trace_path:
         n_spans = obs.save_trace(trace_path)
         print(f"wrote {n_spans} trace span(s) to {trace_path}")
 
-    payload = {
+    # ``fresh`` carries only what this invocation measured (the unit
+    # --record appends and the gate judges); the file payload merges it
+    # over any previous sections instead of silently dropping them.
+    fresh = {
         "benchmark": "kernel",
         "unix_time": int(time.time()),
+        "utc": expdb.utc_now(),
+        "code_hash": expdb.code_hash(),
         "python": sys.version.split()[0],
         "kernel_backend": kernel_backend.active(),
         "workload": {
@@ -773,22 +852,37 @@ def main(argv: list[str] | None = None) -> int:
             "sharding_faults": shard_faults,
             "repeats": repeats,
         },
-        "sequence_simulation": sequences,
-        "fault_grading": grading,
-        "builtin_generation": generation,
-        "array_kernel": array_kernel,
-        "observability": observability,
-        "fault_sharding": sharding,
-        "cache_warm_start": cache_warm,
-        "executor_overhead": executor_overhead,
+        **results,
     }
+    payload = fresh
+    if set(selected) != set(SECTIONS) and args.output.exists():
+        try:
+            previous = json.loads(args.output.read_text())
+        except (OSError, json.JSONDecodeError):
+            previous = {}
+        payload = {**previous, **fresh}
     args.output.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.output}")
+
+    if args.record:
+        db_path = args.db or os.environ.get(expdb.ENV_VAR)
+        if not db_path:
+            print(
+                f"--record needs --db PATH or {expdb.ENV_VAR}", file=sys.stderr
+            )
+            return 2
+        with expdb.ExperimentDB(db_path) as db:
+            batch = db.record_bench(
+                fresh, quick=args.quick, kernel=kernel_backend.active()
+            )
+        print(f"recorded bench batch {batch} in {db_path}")
+
     status = 0
-    if grading["speedup"] < 3.0:
+    grading = results.get("fault_grading")
+    if grading is not None and grading["speedup"] < 3.0:
         print("WARNING: compiled fault grading below the 3x target", file=sys.stderr)
         status = 1
-    for name, row in generation.items():
+    for name, row in results.get("builtin_generation", {}).items():
         if row["speedup"] < GENERATION_SPEEDUP_FLOOR:
             print(
                 f"WARNING: batched generation on {name} below the "
@@ -797,7 +891,7 @@ def main(argv: list[str] | None = None) -> int:
                 file=sys.stderr,
             )
             status = 1
-    for name, row in array_kernel.items():
+    for name, row in results.get("array_kernel", {}).items():
         if row["per_lane_speedup"] < ARRAY_KERNEL_SPEEDUP_FLOOR:
             print(
                 f"WARNING: array kernel on {name} below the "
@@ -806,7 +900,11 @@ def main(argv: list[str] | None = None) -> int:
                 file=sys.stderr,
             )
             status = 1
-    if observability["overhead_fraction"] > OBS_OVERHEAD_BUDGET:
+    observability = results.get("observability")
+    if (
+        observability is not None
+        and observability["overhead_fraction"] > OBS_OVERHEAD_BUDGET
+    ):
         print(
             f"WARNING: observability overhead "
             f"{100 * observability['overhead_fraction']:.2f}% exceeds the "
@@ -814,7 +912,12 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         status = 1
-    if sharding["floor_enforced"] and sharding["speedup"] < SHARDING_SPEEDUP_FLOOR:
+    sharding = results.get("fault_sharding")
+    if (
+        sharding is not None
+        and sharding["floor_enforced"]
+        and sharding["speedup"] < SHARDING_SPEEDUP_FLOOR
+    ):
         print(
             f"WARNING: sharded grading below the "
             f"{SHARDING_SPEEDUP_FLOOR:.0f}x floor ({sharding['speedup']:.1f}x "
@@ -822,15 +925,18 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         status = 1
-    if cache_warm["speedup"] < CACHE_SPEEDUP_FLOOR:
+    cache_warm = results.get("cache_warm_start")
+    if cache_warm is not None and cache_warm["speedup"] < CACHE_SPEEDUP_FLOOR:
         print(
             f"WARNING: cache warm start below the {CACHE_SPEEDUP_FLOOR:.0f}x "
             f"floor ({cache_warm['speedup']:.1f}x)",
             file=sys.stderr,
         )
         status = 1
+    executor_overhead = results.get("executor_overhead")
     if (
-        executor_overhead["floor_enforced"]
+        executor_overhead is not None
+        and executor_overhead["floor_enforced"]
         and executor_overhead["overhead_fraction"] > EXECUTOR_OVERHEAD_BUDGET
     ):
         print(

@@ -10,6 +10,7 @@ Subcommands mirror the paper's three methods plus utilities::
     repro-eda table 4.3                     # regenerate a paper table
     repro-eda worker --connect host:7341    # serve a remote campaign
     repro-eda stats trace.jsonl             # re-render a saved trace
+    repro-eda db runs --db exp.db           # browse the experiment history
 
 Observability: ``generate`` and ``table`` accept ``--stats`` (print the
 run report: per-phase time breakdown, seeds tried/accepted, truncation
@@ -51,6 +52,16 @@ above 64 engage the array kernel automatically.  Both backends are
 bit-identical, so these too are pure throughput knobs; bad values fail
 fast with exit code 2.
 
+Experiment history (see :mod:`repro.expdb`): ``generate`` and ``table``
+accept ``--db PATH`` (equivalently ``REPRO_DB``, which pool and remote
+workers inherit) to append the run -- its parameters, fingerprint, every
+completed row, and the end-of-run metric snapshot with p50/p95/p99
+histogram summaries -- to a sqlite experiment database.  ``repro-eda db
+{runs,show,query,trend,gate}`` reads the history back: ``db gate``
+checks bench samples against the rolling median of the last N recorded
+batches instead of static floors, and ``repro-eda stats --db PATH``
+re-renders any stored run report.  Recording never changes results.
+
 All output is plain text; every command is deterministic for fixed seeds.
 """
 
@@ -62,10 +73,23 @@ from typing import Sequence
 
 
 def _obs_setup(args: argparse.Namespace) -> bool:
-    """Enable metric collection when ``--stats``/``--trace`` asks for it."""
-    from repro import obs
+    """Enable metric collection when ``--stats``/``--trace``/``--db`` asks.
 
-    wants = bool(getattr(args, "stats", False) or getattr(args, "trace", None))
+    ``--db`` implies collection because the run's metric snapshot is what
+    lands in the experiment database at run end -- a recorded run with no
+    metrics would be an empty history entry.
+    """
+    import os
+
+    from repro import obs
+    from repro.expdb import ENV_VAR
+
+    recording = hasattr(args, "db") and bool(
+        args.db or os.environ.get(ENV_VAR)
+    )
+    wants = bool(
+        getattr(args, "stats", False) or getattr(args, "trace", None) or recording
+    )
     if wants:
         obs.enable()
     return wants
@@ -81,6 +105,55 @@ def _obs_finish(args: argparse.Namespace) -> None:
     if getattr(args, "stats", False):
         print()
         print(obs.render_report(obs.registry()))
+
+
+def _db_setup(args: argparse.Namespace, kind: str, label: str) -> int | None:
+    """Open an experiment-database run when ``--db``/``REPRO_DB`` asks.
+
+    Returns the new run id, or ``None`` when recording is off.  The path
+    and run id are exported (``REPRO_DB`` / ``REPRO_DB_RUN``) so pool
+    workers inherit them; remote workers receive both in the executor
+    config handshake.
+    """
+    import os
+
+    from repro import expdb
+    from repro.core import kernel
+
+    path = getattr(args, "db", None) or os.environ.get(expdb.ENV_VAR)
+    if not path:
+        return None
+    os.environ[expdb.ENV_VAR] = str(path)
+    db = expdb.configure(path)
+    run_id = db.begin_run(
+        kind,
+        label,
+        kernel=kernel.active(),
+        executor=getattr(args, "executor", None) or "inprocess",
+        argv=getattr(args, "argv", None),
+    )
+    expdb.set_current_run(run_id)
+    return run_id
+
+
+def _db_finish(run_id: int | None, exit_code: int, started: float) -> None:
+    """Close the run opened by :func:`_db_setup` with its obs snapshot."""
+    import time
+
+    from repro import expdb, obs
+
+    db = expdb.active()
+    if db is None or run_id is None:
+        return
+    snapshot = obs.registry().snapshot() if obs.enabled() else None
+    db.finish_run(
+        run_id,
+        snapshot=snapshot,
+        status="ok" if exit_code == 0 else "failed",
+        exit_code=exit_code,
+        elapsed_s=time.monotonic() - started,
+    )
+    expdb.set_current_run(None)
 
 
 def _cache_setup(args: argparse.Namespace) -> None:
@@ -257,21 +330,30 @@ def _cmd_generate(args: argparse.Namespace) -> int:
         print(f"error: {problem}", file=sys.stderr)
         return 2
     _kernel_setup(args)
+    import time
+
+    run_id = _db_setup(args, "generate", args.circuit)
+    started = time.monotonic()
+    code = 1
     executor = None
-    if args.executor:
-        try:
-            executor = _build_executor(args, jobs=args.shards)
-        except ValueError as exc:
-            print(f"error: {exc}", file=sys.stderr)
-            return 2
-        except TimeoutError as exc:
-            print(f"error: {exc}", file=sys.stderr)
-            return 1
     try:
-        return _run_generate(args, executor)
+        if args.executor:
+            try:
+                executor = _build_executor(args, jobs=args.shards)
+            except ValueError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                code = 2
+                return code
+            except TimeoutError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                code = 1
+                return code
+        code = _run_generate(args, executor)
+        return code
     finally:
         if executor is not None:
             executor.close()
+        _db_finish(run_id, code, started)
 
 
 def _run_generate(args: argparse.Namespace, executor=None) -> int:
@@ -302,6 +384,44 @@ def _run_generate(args: argparse.Namespace, executor=None) -> int:
     result = BuiltinGenerator(
         target, faults, swa_func, config=config, grading_executor=executor
     ).run()
+    from repro import expdb
+    from repro.resilience.checkpoint import fingerprint_of
+
+    db = expdb.active()
+    run_id = expdb.current_run()
+    if db is not None and run_id is not None:
+        db.annotate_run(
+            run_id,
+            fingerprint=fingerprint_of(
+                {
+                    "generate": args.circuit,
+                    "driver": args.driver,
+                    "length": args.length,
+                    "time_limit": args.time_limit,
+                    "seed": args.seed,
+                    "hold": bool(args.hold),
+                    "tree_height": args.tree_height,
+                }
+            ),
+        )
+        db.record_row(
+            run_id,
+            f"generate/{args.circuit}",
+            0,
+            {
+                "circuit": args.circuit,
+                "driver": args.driver,
+                "n_multi": result.n_multi,
+                "n_seg_max": result.n_seg_max,
+                "l_max": result.l_max,
+                "n_seeds": result.n_seeds,
+                "n_tests": result.n_tests,
+                "peak_swa": round(result.peak_swa, 4),
+                "coverage": round(result.coverage, 4),
+                "area_total": round(result.area.total, 2),
+                "area_overhead_percent": round(result.area.overhead_percent, 4),
+            },
+        )
     print(
         f"Nmulti={result.n_multi} Nsegmax={result.n_seg_max} Lmax={result.l_max} "
         f"Nseeds={result.n_seeds} Ntests={result.n_tests}"
@@ -382,21 +502,30 @@ def _cmd_table(args: argparse.Namespace) -> int:
         print(f"error: {problem}", file=sys.stderr)
         return 2
     _kernel_setup(args)
+    import time
+
+    run_id = _db_setup(args, "table", args.table)
+    started = time.monotonic()
+    code = 1
     executor = None
-    if args.executor and args.table in ("4.3", "4.4"):
-        try:
-            executor = _build_executor(args, jobs=args.jobs)
-        except ValueError as exc:
-            print(f"error: {exc}", file=sys.stderr)
-            return 2
-        except TimeoutError as exc:
-            print(f"error: {exc}", file=sys.stderr)
-            return 1
     try:
-        return _run_table(args, executor)
+        if args.executor and args.table in ("4.3", "4.4"):
+            try:
+                executor = _build_executor(args, jobs=args.jobs)
+            except ValueError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                code = 2
+                return code
+            except TimeoutError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                code = 1
+                return code
+        code = _run_table(args, executor)
+        return code
     finally:
         if executor is not None:
             executor.close()
+        _db_finish(run_id, code, started)
 
 
 def _run_table(args: argparse.Namespace, executor=None) -> int:
@@ -537,9 +666,36 @@ def _cmd_worker(args: argparse.Namespace) -> int:
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
-    from repro.obs import read_trace, render_trace
+    import json
+    import os
 
-    meta, events = read_trace(args.file)
+    from repro.obs import read_trace, render_trace
+    from repro.obs.trace import TRACE_SCHEMA
+
+    if args.db or args.file is None:
+        return _stats_from_db(args)
+    if not os.path.exists(args.file):
+        print(f"error: no trace file at {args.file}", file=sys.stderr)
+        return 2
+    try:
+        meta, events = read_trace(args.file)
+    except (json.JSONDecodeError, UnicodeDecodeError, OSError) as exc:
+        print(
+            f"error: {args.file} is not a {TRACE_SCHEMA} trace: {exc}",
+            file=sys.stderr,
+        )
+        return 2
+    if meta and meta.get("schema") != TRACE_SCHEMA:
+        print(
+            f"error: {args.file} is not a {TRACE_SCHEMA} trace "
+            f"(schema {meta.get('schema')!r})",
+            file=sys.stderr,
+        )
+        return 2
+    if not meta and not events:
+        # An empty or unrelated file: no header, no spans -- not a trace.
+        print(f"error: {args.file} is not a {TRACE_SCHEMA} trace", file=sys.stderr)
+        return 2
     if not events:
         print(f"no span events in {args.file}", file=sys.stderr)
         return 1
@@ -550,6 +706,178 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     print()
     print(render_trace(events, limit=args.limit))
     return 0
+
+
+def _stats_from_db(args: argparse.Namespace) -> int:
+    """Render a stored run report (``repro-eda stats --db PATH [--run N]``)."""
+    import os
+
+    from repro.expdb import ENV_VAR, ExperimentDB, ExperimentDBError
+    from repro.obs.report import render_report
+
+    path = args.db or os.environ.get(ENV_VAR)
+    if not path:
+        print(
+            f"error: pass a trace file, or --db PATH / {ENV_VAR} for a "
+            "stored run report",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        with ExperimentDB(path) as db:
+            run_id = args.run if args.run is not None else db.latest_run_id()
+            if run_id is None:
+                print(f"no runs recorded in {path}", file=sys.stderr)
+                return 1
+            run = db.run(run_id)
+            snapshot = db.run_snapshot(run_id)
+    except ExperimentDBError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    title = (
+        f"run {run_id}: {run['kind']} {run['label']} "
+        f"({run['started_utc']}, {run['status']}, code {run['code_hash']})"
+    )
+    print(render_report(snapshot, title=title))
+    return 0
+
+
+def _cmd_db(args: argparse.Namespace) -> int:
+    """``repro-eda db {runs,show,query,trend,gate}`` over the experiment DB."""
+    import json
+    import os
+
+    from repro import expdb
+
+    path = args.db or os.environ.get(expdb.ENV_VAR)
+    if not path:
+        print(
+            f"error: no database: pass --db PATH or set {expdb.ENV_VAR}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        db = expdb.ExperimentDB(path)
+    except expdb.ExperimentDBError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        if args.action == "runs":
+            return _db_runs(db, args)
+        if args.action == "show":
+            return _db_show(db, args)
+        if args.action == "query":
+            if not args.arg:
+                print("error: db query needs a SQL statement", file=sys.stderr)
+                return 2
+            try:
+                columns, rows = db.query(args.arg)
+            except expdb.ExperimentDBError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            if columns:
+                print("\t".join(columns))
+            for row in rows:
+                print("\t".join("" if v is None else str(v) for v in row))
+            return 0
+        if args.action == "trend":
+            return _db_trend(db, args)
+        # gate
+        current = None
+        if args.input:
+            try:
+                current = json.loads(open(args.input).read())
+            except (OSError, json.JSONDecodeError) as exc:
+                print(f"error: cannot read bench payload: {exc}", file=sys.stderr)
+                return 2
+        result = expdb.gate(
+            db, current=current, last=args.last, tolerance=args.tolerance
+        )
+        print(result.report())
+        return 0 if result.ok else 1
+    finally:
+        db.close()
+
+
+def _db_runs(db, args: argparse.Namespace) -> int:
+    """Print the newest-first run listing for ``repro-eda db runs``."""
+    runs = db.runs(limit=args.limit)
+    if not runs:
+        print(f"no runs recorded in {db.path}", file=sys.stderr)
+        return 0
+    print(
+        f"{'id':>4s} {'started (UTC)':20s} {'kind':9s} {'label':10s} "
+        f"{'status':7s} {'rows':>5s} {'metrics':>7s} {'code':16s} {'fingerprint':16s}"
+    )
+    for r in runs:
+        print(
+            f"{r['id']:4d} {r['started_utc']:20s} {r['kind']:9s} "
+            f"{str(r['label']):10s} {r['status']:7s} {r['n_rows']:5d} "
+            f"{r['n_metrics']:7d} {r['code_hash']:16s} {r['fingerprint'] or '-':16s}"
+        )
+    return 0
+
+
+def _db_show(db, args: argparse.Namespace) -> int:
+    """Print one run's summary + rows for ``repro-eda db show [RUN]``."""
+    from repro import expdb
+
+    run_id = int(args.arg) if args.arg else db.latest_run_id()
+    if run_id is None:
+        print(f"no runs recorded in {db.path}", file=sys.stderr)
+        return 1
+    try:
+        run = db.run(run_id)
+    except expdb.ExperimentDBError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for key in (
+        "id", "kind", "label", "status", "exit_code", "started_utc",
+        "finished_utc", "elapsed_s", "fingerprint", "code_hash", "kernel",
+        "executor", "argv",
+    ):
+        print(f"{key:13s} {run.get(key)}")
+    rows = db.rows(run_id)
+    print(f"{'rows':13s} {len(rows)}")
+    for row in rows:
+        payload = row["payload"]
+        summary = ""
+        if isinstance(payload, dict):
+            summary = " ".join(
+                f"{k}={v}" for k, v in list(payload.items())[:6]
+            )
+        print(f"  [{row['status']:7s}] {row['key']:24s} {summary}")
+    return 0
+
+
+def _db_trend(db, args: argparse.Namespace) -> int:
+    """Print one metric's per-run history for ``repro-eda db trend``."""
+    metric = args.metric or args.arg
+    if not metric:
+        print("error: db trend needs --metric NAME", file=sys.stderr)
+        return 2
+    rows = db.metric_trend(metric, last=args.last if args.last else None)
+    if rows:
+        print(
+            f"{'run':>4s} {'campaign':14s} {'started (UTC)':20s} "
+            f"{'code':16s} {'value':>14s}"
+        )
+        for r in rows:
+            campaign = f"{r['kind']} {r['label']}"
+            print(
+                f"{r['run_id']:4d} {campaign:14s} {r['started_utc']:20s} "
+                f"{r['code_hash']:16s} {r['value']:14g}"
+            )
+        return 0
+    # Fall back to bench-sample history for section.subject.metric names.
+    parts = metric.split(".")
+    if len(parts) == 3:
+        history = db.bench_history(*parts, last=args.last or 5)
+        if history:
+            print(f"bench {metric} (newest first): " + ", ".join(f"{v:g}" for v in history))
+            return 0
+    print(f"no history for metric {metric!r} in {db.path}", file=sys.stderr)
+    return 1
 
 
 def _add_executor_args(p: argparse.ArgumentParser) -> None:
@@ -657,6 +985,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--trace", metavar="FILE", help="write the span trace as JSONL to FILE"
     )
+    p.add_argument(
+        "--db",
+        metavar="PATH",
+        help="record this run (result row + metric snapshot) into the "
+        "experiment database at PATH (same as REPRO_DB; implies metric "
+        "collection)",
+    )
     _add_executor_args(p)
     _add_kernel_args(p)
     p.set_defaults(func=_cmd_generate)
@@ -739,6 +1074,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--trace", metavar="FILE", help="write the merged span trace as JSONL to FILE"
     )
+    p.add_argument(
+        "--db",
+        metavar="PATH",
+        help="record this run (every table row + the merged metric "
+        "snapshot) into the experiment database at PATH (same as "
+        "REPRO_DB, which workers inherit; implies metric collection)",
+    )
     _add_executor_args(p)
     _add_kernel_args(p)
     p.set_defaults(func=_cmd_table)
@@ -773,15 +1115,90 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(func=_cmd_worker)
 
-    p = sub.add_parser("stats", help="re-render a saved trace JSONL file")
-    p.add_argument("file", help="trace file written by --trace or REPRO_TRACE")
+    p = sub.add_parser(
+        "stats", help="re-render a saved trace file or a stored run report"
+    )
+    p.add_argument(
+        "file",
+        nargs="?",
+        help="trace file written by --trace or REPRO_TRACE "
+        "(omit with --db to render a stored run report instead)",
+    )
     p.add_argument(
         "--limit",
         type=int,
         default=40,
         help="max span-tree lines to print (summary always covers everything)",
     )
+    p.add_argument(
+        "--db",
+        metavar="PATH",
+        help="render the run report from the experiment database at PATH "
+        "(same as REPRO_DB) instead of a trace file",
+    )
+    p.add_argument(
+        "--run",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run id to report on (default: the newest recorded run)",
+    )
     p.set_defaults(func=_cmd_stats)
+
+    p = sub.add_parser("db", help="query the experiment database")
+    p.add_argument(
+        "action",
+        choices=("runs", "show", "query", "trend", "gate"),
+        help="runs: list recorded runs; show: one run's rows and summary; "
+        "query: run a read-only SQL statement; trend: one metric across "
+        "runs; gate: check bench samples against rolling history",
+    )
+    p.add_argument(
+        "arg",
+        nargs="?",
+        help="SQL statement (query), run id (show), or metric name (trend)",
+    )
+    p.add_argument(
+        "--db",
+        metavar="PATH",
+        help="experiment database path (default: the REPRO_DB environment "
+        "variable)",
+    )
+    p.add_argument(
+        "--metric",
+        metavar="NAME",
+        help="metric to trend: an obs metric name, or a bench "
+        "section.subject.metric triple",
+    )
+    p.add_argument(
+        "--last",
+        type=int,
+        default=5,
+        metavar="N",
+        help="history window: batches the gate's rolling median covers, "
+        "or trend rows shown (default 5; 0 means unlimited for trend)",
+    )
+    p.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.10,
+        metavar="FRACTION",
+        help="gate slack below the rolling median (default 0.10 = 10%%)",
+    )
+    p.add_argument(
+        "--input",
+        metavar="FILE",
+        help="bench payload JSON to gate (default: judge the newest "
+        "recorded batch against the batches before it)",
+    )
+    p.add_argument(
+        "--limit",
+        type=int,
+        default=20,
+        metavar="N",
+        help="max runs listed by `db runs`",
+    )
+    p.set_defaults(func=_cmd_db)
     return parser
 
 
@@ -789,7 +1206,17 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    # The verbatim invocation, recorded on experiment-database runs.
+    args.argv = list(argv) if argv is not None else sys.argv[1:]
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into a pager/grep that exited early -- not an error.
+        try:
+            sys.stdout.close()
+        except OSError:  # pragma: no cover - double-close race
+            pass
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -8,10 +8,12 @@ handshakes, and then serves one task at a time.  The wire protocol is
 four message shapes, all pickled by the connection itself:
 
 * worker -> coordinator: ``("hello", {"pid", "host"})`` once, on connect;
-* coordinator -> worker: ``("config", {"collect", "cache_dir"})`` --
-  whether to ship per-task obs snapshots, and the coordinator's
-  :mod:`repro.cache` directory so workers without one of their own warm
-  from the same artifact plane;
+* coordinator -> worker: ``("config", {"collect", "cache_dir", "db_path",
+  "db_run"})`` -- whether to ship per-task obs snapshots, the
+  coordinator's :mod:`repro.cache` directory so workers without one of
+  their own warm from the same artifact plane, and the coordinator's
+  :mod:`repro.expdb` database path + open run id so worker-side records
+  attach to the campaign's run;
 * coordinator -> worker: ``("task", index, task, attempt)`` per dispatch,
   or ``None`` to shut the worker down;
 * worker -> coordinator: the exact reply tuple of the local pool
@@ -178,7 +180,7 @@ class RemoteExecutor(Executor):
                     conn.close()
                     continue
                 collect = obs.enabled() if self._collect is None else self._collect
-                from repro import cache
+                from repro import cache, expdb
 
                 conn.send(
                     (
@@ -186,6 +188,8 @@ class RemoteExecutor(Executor):
                         {
                             "collect": bool(collect),
                             "cache_dir": os.environ.get(cache.ENV_VAR),
+                            "db_path": os.environ.get(expdb.ENV_VAR),
+                            "db_run": os.environ.get(expdb.RUN_ENV_VAR),
                         },
                     )
                 )
@@ -432,7 +436,7 @@ def worker_loop(
     *own* ``REPRO_FAULT`` environment, so one worker of a fleet can be
     made to crash while the rest stay healthy.
     """
-    from repro import cache
+    from repro import cache, expdb
     from repro.resilience.pool import attempt_reply
 
     key = _resolve_authkey(authkey)
@@ -464,6 +468,13 @@ def worker_loop(
             if cache_dir and not os.environ.get(cache.ENV_VAR):
                 os.environ[cache.ENV_VAR] = str(cache_dir)
                 cache.reset()
+            db_path = config.get("db_path")
+            if db_path and not os.environ.get(expdb.ENV_VAR):
+                os.environ[expdb.ENV_VAR] = str(db_path)
+                db_run = config.get("db_run")
+                if db_run:
+                    os.environ[expdb.RUN_ENV_VAR] = str(db_run)
+                expdb.reset()
         while True:
             try:
                 item = conn.recv()

@@ -31,6 +31,11 @@ list -- the campaign itself never aborts mid-run.  Passing a
 completed row (with its obs snapshot) the moment it finishes; rows
 already journaled are skipped and their results (and snapshots) replayed,
 which is what ``repro-eda table --checkpoint FILE --resume`` rides on.
+When an experiment database is active (``--db`` / ``REPRO_DB`` plus an
+open run id, see :mod:`repro.expdb`), every resolved row -- freshly
+completed, replayed from the journal (status ``resumed``), or degraded
+to a failure -- is also appended to the run's ``rows`` table the moment
+it resolves, so campaign history accumulates without a separate pass.
 
 Workers receive circuit *names*, not circuit objects: each process loads
 and compiles its own copy, which keeps task payloads small and sidesteps
@@ -54,7 +59,7 @@ import zlib
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Mapping, Sequence
 
-from repro import obs
+from repro import expdb, obs
 from repro.resilience.checkpoint import CheckpointJournal
 from repro.resilience.policy import RetryPolicy, TaskFailure
 
@@ -93,6 +98,37 @@ def derive_seed(base_seed: int, key: str) -> int:
     """
     mixed = (base_seed * 0x10001 + zlib.crc32(key.encode("utf-8"))) % (2**31 - 1)
     return mixed or 1
+
+
+def _record_outcome(task: ExperimentTask, index: int, outcome: Any, status: str) -> None:
+    """Append one task outcome to the active experiment database, if any.
+
+    A no-op unless both a database (``--db`` / ``REPRO_DB``) and an open
+    run id are in effect.  List/tuple outcomes -- e.g. all Table 4.3 rows
+    of one target -- flatten to one database row per element, keyed
+    ``<task.key>#<i>``, so the stored rows line up one-to-one with the
+    rendered table's rows.  Failures record a ``failed`` row carrying the
+    :class:`~repro.resilience.policy.TaskFailure` description.
+    """
+    db = expdb.active()
+    run_id = expdb.current_run()
+    if db is None or run_id is None:
+        return
+    if isinstance(outcome, TaskFailure):
+        db.record_row(
+            run_id,
+            task.key,
+            index,
+            {"failure": outcome.describe(), "message": outcome.message},
+            status="failed",
+        )
+    elif isinstance(outcome, (list, tuple)):
+        for i, item in enumerate(outcome):
+            db.record_row(
+                run_id, f"{task.key}#{i}", index, expdb.payload_of(item), status=status
+            )
+    else:
+        db.record_row(run_id, task.key, index, expdb.payload_of(outcome), status=status)
 
 
 def run_tasks(
@@ -140,6 +176,7 @@ def run_tasks(
             if snap is not None and obs.enabled():
                 obs.merge(snap, task=task.key)
             obs.count("runner.tasks_resumed")
+            _record_outcome(task, i, results[i], "resumed")
         else:
             pending.append(i)
 
@@ -183,6 +220,7 @@ def run_tasks(
             obs.count("runner.tasks_completed")
             if checkpoint is not None:
                 checkpoint.record(tasks[index].key, outcome, snapshot=snapshot)
+        _record_outcome(tasks[index], index, outcome, "ok")
         emit_progress()
 
     try:

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Callable, Sequence
 
+from repro import expdb
 from repro.bist.tpg import DevelopedTpg
 from repro.circuits.benchmarks import get_circuit, make_buffers_block
 from repro.circuits.netlist import Circuit
@@ -264,20 +265,26 @@ def run_table_4_3(
     once per completed target.
     """
     config = config or BuiltinGenConfig(segment_length=150, time_limit=20)
+    fingerprint = fingerprint_of(
+        {
+            "table": "4.3",
+            "targets": tuple(targets),
+            "drivers": tuple(drivers),
+            # Normalize the pure-throughput knobs: shards/jobs/lanes do
+            # not change any row, so journals stay resumable across them.
+            "config": replace(config, grade_shards=1, grade_jobs=None, lanes=None),
+            "n_sequences": n_sequences,
+            "func_length": func_length,
+        }
+    )
+    db = expdb.active()
+    run_id = expdb.current_run()
+    if db is not None and run_id is not None:
+        # The same campaign fingerprint that keys checkpoint journals keys
+        # the run: runs with equal fingerprints are reruns of one campaign.
+        db.annotate_run(run_id, fingerprint=fingerprint)
     checkpoint = None
     if checkpoint_path:
-        fingerprint = fingerprint_of(
-            {
-                "table": "4.3",
-                "targets": tuple(targets),
-                "drivers": tuple(drivers),
-                # Normalize the pure-throughput knobs: shards/jobs/lanes do
-                # not change any row, so journals stay resumable across them.
-                "config": replace(config, grade_shards=1, grade_jobs=None, lanes=None),
-                "n_sequences": n_sequences,
-                "func_length": func_length,
-            }
-        )
         checkpoint = CheckpointJournal.open(
             checkpoint_path, fingerprint=fingerprint, resume=resume
         )

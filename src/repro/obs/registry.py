@@ -23,26 +23,41 @@ Cost model (the <2% overhead budget of ``benchmarks/bench_kernel.py``):
 
 from __future__ import annotations
 
+import random
 import time
 from typing import Any, Iterator, Mapping
 
+#: Reservoir size backing histogram quantile estimates.  512 samples keep
+#: p99 meaningful (≈5 samples above it) while a snapshot stays a few KB.
+RESERVOIR_CAP = 512
+
 
 class Histogram:
-    """Streaming summary of observed values: count, sum, min, max.
+    """Streaming summary of observed values: count, sum, min, max, quantiles.
 
     Used both for timing distributions (span durations in seconds) and
     value distributions (truncated segment lengths, seeds per segment).
-    Merging two histograms is exact for all four statistics, which is what
-    makes cross-process aggregation lossless.
+    Merging two histograms is exact for count/total/min/max, which is what
+    makes cross-process aggregation lossless for those statistics.
+
+    Quantiles (:meth:`quantile`, surfaced as p50/p95/p99 in the run
+    report) are *estimates* from a bounded reservoir of observed values:
+    exact until :data:`RESERVOIR_CAP` observations, then maintained by
+    reservoir sampling with a fixed-seed PRNG so the same observation
+    stream always yields the same estimate.  Merging concatenates the two
+    reservoirs and deterministically resamples when over capacity, so
+    cross-process quantiles stay representative (not exact).
     """
 
-    __slots__ = ("count", "total", "min", "max")
+    __slots__ = ("count", "total", "min", "max", "samples", "_rng")
 
     def __init__(self) -> None:
         self.count = 0
         self.total = 0.0
         self.min = float("inf")
         self.max = float("-inf")
+        self.samples: list[float] = []
+        self._rng = random.Random(0x5EED)
 
     def observe(self, value: float) -> None:
         """Fold one value into the summary."""
@@ -52,30 +67,56 @@ class Histogram:
             self.min = value
         if value > self.max:
             self.max = value
+        samples = self.samples
+        if len(samples) < RESERVOIR_CAP:
+            samples.append(value)
+        else:
+            j = self._rng.randrange(self.count)
+            if j < RESERVOIR_CAP:
+                samples[j] = value
 
     @property
     def mean(self) -> float:
         """Arithmetic mean of the observed values (0.0 when empty)."""
         return self.total / self.count if self.count else 0.0
 
-    def to_dict(self) -> dict[str, float]:
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (0 <= q <= 1) of the observed values.
+
+        Nearest-rank over the reservoir: exact while fewer than
+        :data:`RESERVOIR_CAP` values have been observed, an estimate
+        after.  Returns 0.0 for an empty histogram.
+        """
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        rank = max(0, min(len(ordered) - 1, round(q * len(ordered)) - 1))
+        return ordered[rank]
+
+    def to_dict(self) -> dict[str, Any]:
         """JSON-serializable form (inverse of :meth:`from_dict`)."""
         return {
             "count": self.count,
             "total": self.total,
             "min": self.min if self.count else 0.0,
             "max": self.max if self.count else 0.0,
+            "samples": list(self.samples),
         }
 
     @classmethod
-    def from_dict(cls, data: Mapping[str, float]) -> "Histogram":
-        """Rebuild a histogram from :meth:`to_dict` output."""
+    def from_dict(cls, data: Mapping[str, Any]) -> "Histogram":
+        """Rebuild a histogram from :meth:`to_dict` output.
+
+        Dicts written before quantile support (no ``samples`` key) load
+        fine; their quantiles simply read 0.0.
+        """
         h = cls()
         h.count = int(data["count"])
         h.total = float(data["total"])
         if h.count:
             h.min = float(data["min"])
             h.max = float(data["max"])
+        h.samples = [float(v) for v in data.get("samples", ())][:RESERVOIR_CAP]
         return h
 
     def merge(self, other: "Histogram") -> None:
@@ -88,6 +129,10 @@ class Histogram:
             self.min = other.min
         if other.max > self.max:
             self.max = other.max
+        combined = self.samples + other.samples
+        if len(combined) > RESERVOIR_CAP:
+            combined = self._rng.sample(combined, RESERVOIR_CAP)
+        self.samples = combined
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

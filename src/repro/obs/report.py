@@ -5,7 +5,9 @@ possibly merged from many worker processes) into the report printed by
 ``repro-eda generate --stats`` / ``repro-eda table --stats``:
 
 * a per-phase time breakdown from the ``span.*`` duration histograms
-  (count, total seconds, share of the instrumented wall time);
+  (count, total seconds, share of the instrumented wall time); value
+  histograms render count/mean/min/max plus p50/p95/p99 estimates from
+  the :class:`repro.obs.registry.Histogram` quantile reservoir;
 * curated sections for the quantities the Fig 4.9 construction loop is
   otherwise opaque about -- seeds tried/accepted and per-segment trial
   counts, lane truncation counts and the truncated-length distribution,
@@ -63,12 +65,36 @@ def _fmt_num(value: float) -> str:
     return f"{int(value)}"
 
 
+def hist_quantiles(h: Mapping[str, Any]) -> tuple[float, float, float] | None:
+    """p50/p95/p99 estimates of a histogram dict, or ``None`` if unavailable.
+
+    Reads the quantile reservoir a live :class:`Histogram` snapshot
+    carries (``samples``); falls back to precomputed ``p50``/``p95``/
+    ``p99`` keys, the shape :mod:`repro.expdb` stores and hands back when
+    a report is re-rendered from the experiment database.
+    """
+    samples = h.get("samples")
+    if samples:
+        hist = Histogram.from_dict({**h, "samples": samples})
+        return (hist.quantile(0.50), hist.quantile(0.95), hist.quantile(0.99))
+    if h.get("p50") is not None:
+        return (float(h["p50"]), float(h.get("p95", 0.0)), float(h.get("p99", 0.0)))
+    return None
+
+
 def _fmt_hist(h: Mapping[str, float]) -> str:
     count = int(h["count"])
     if not count:
         return "empty"
+    quantiles = hist_quantiles(h)
+    q_txt = ""
+    if quantiles is not None:
+        q_txt = (
+            f"p50={quantiles[0]:.3g}  p95={quantiles[1]:.3g}  "
+            f"p99={quantiles[2]:.3g}  "
+        )
     return (
-        f"n={count}  mean={h['total'] / count:.3g}  "
+        f"n={count}  mean={h['total'] / count:.3g}  {q_txt}"
         f"min={h['min']:.3g}  max={h['max']:.3g}  total={h['total']:.4g}"
     )
 

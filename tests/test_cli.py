@@ -133,7 +133,23 @@ class TestObservabilityCommands:
     def test_stats_rejects_empty_file(self, tmp_path, capsys):
         empty = tmp_path / "empty.jsonl"
         empty.write_text("")
-        assert main(["stats", str(empty)]) == 1
+        assert main(["stats", str(empty)]) == 2
+        assert "not a repro-trace-v1 trace" in capsys.readouterr().err
+
+    def test_stats_rejects_missing_file(self, tmp_path, capsys):
+        assert main(["stats", str(tmp_path / "nope.jsonl")]) == 2
+        assert "no trace file" in capsys.readouterr().err
+
+    def test_stats_rejects_wrong_schema(self, tmp_path, capsys):
+        trace = tmp_path / "other.jsonl"
+        trace.write_text('{"schema": "other-v9"}\n')
+        assert main(["stats", str(trace)]) == 2
+        assert "repro-trace-v1" in capsys.readouterr().err
+
+    def test_stats_rejects_binary_garbage(self, tmp_path, capsys):
+        trace = tmp_path / "garbage.jsonl"
+        trace.write_bytes(b"\x00\x01\x02 not json at all")
+        assert main(["stats", str(trace)]) == 2
 
     def test_table_quiet_suppresses_progress(self, capsys):
         assert main(["table", "4.2", "--jobs", "2", "--quiet"]) == 0

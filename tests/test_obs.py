@@ -65,6 +65,47 @@ class TestHistogram:
         a.merge(Histogram())
         assert (a.count, a.min, a.max) == (1, 3.0, 3.0)
 
+    def test_quantiles_exact_below_reservoir_cap(self):
+        h = Histogram()
+        for v in range(1, 101):  # 1..100, well under RESERVOIR_CAP
+            h.observe(float(v))
+        assert h.quantile(0.50) == 50.0
+        assert h.quantile(0.95) == 95.0
+        assert h.quantile(0.99) == 99.0
+        assert h.quantile(0.0) == 1.0
+        assert h.quantile(1.0) == 100.0
+
+    def test_quantiles_empty_histogram_is_zero(self):
+        assert Histogram().quantile(0.5) == 0.0
+
+    def test_quantiles_approximate_past_reservoir_cap(self):
+        from repro.obs.registry import RESERVOIR_CAP
+
+        h = Histogram()
+        n = RESERVOIR_CAP * 4
+        for v in range(n):  # uniform 0..n-1, sampling stays representative
+            h.observe(float(v))
+        assert len(h.samples) <= RESERVOIR_CAP
+        assert h.quantile(0.5) == pytest.approx(n / 2, rel=0.15)
+        assert h.quantile(0.95) == pytest.approx(n * 0.95, rel=0.15)
+
+    def test_quantiles_survive_dict_round_trip_and_merge(self):
+        a, b = Histogram(), Histogram()
+        for v in range(100):
+            a.observe(float(v))
+        for v in range(100, 200):
+            b.observe(float(v))
+        back = Histogram.from_dict(a.to_dict())
+        assert back.quantile(0.5) == a.quantile(0.5)
+        a.merge(b)
+        assert a.quantile(0.5) == pytest.approx(100.0, rel=0.15)
+
+    def test_from_dict_without_samples_is_backward_compatible(self):
+        legacy = {"count": 3, "total": 12.0, "min": 1.0, "max": 7.0}
+        h = Histogram.from_dict(legacy)
+        assert (h.count, h.mean) == (3, 4.0)
+        assert h.quantile(0.5) == 0.0  # no samples to estimate from
+
 
 class TestRegistry:
     def test_disabled_mutators_are_noops(self):
