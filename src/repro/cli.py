@@ -37,9 +37,16 @@ backend outright -- every backend produces byte-identical output, so
 the flag is a pure wall-clock/topology knob.  ``remote`` binds
 ``--listen HOST:PORT`` (port 0 picks a free port, printed to stderr)
 and waits ``--worker-wait`` seconds for ``--min-workers`` workers;
-start workers on any host with ``repro-eda worker --connect HOST:PORT``.
-Bad ``--jobs`` / ``--shards`` / ``--executor`` values fail fast with
-exit code 2 before any work is dispatched.
+start workers on any host with ``repro-eda worker --connect HOST:PORT``
+(add ``--reconnect [--max-reconnects N]`` to let a worker re-handshake
+into the campaign after a dropped seat).  If the fleet never forms,
+``--fallback-executor {inprocess,pool}`` degrades the campaign to a
+local backend instead of failing.  The supervised fleet heartbeats,
+requeues tasks from partitioned or trickling seats, and rejects
+malformed peers; its health lands under the "fleet supervision"
+section of ``--stats``.  Bad ``--jobs`` / ``--shards`` /
+``--executor`` / ``--fallback-executor`` values fail fast with exit
+code 2 before any work is dispatched.
 
 Kernel backends (see :mod:`repro.core.kernel`): ``generate`` and
 ``table`` accept ``--kernel {word,array}`` (equivalently
@@ -187,6 +194,19 @@ def _validate_dispatch(args: argparse.Namespace) -> str | None:
         kind = getattr(args, "executor", None)
         if kind is not None:
             validate_executor_kind(kind)
+        fallback = getattr(args, "fallback_executor", None)
+        if fallback is not None:
+            validate_executor_kind(fallback)
+            if fallback == "remote":
+                raise ValueError(
+                    "--fallback-executor must be a local backend "
+                    "(inprocess or pool); falling back to remote would "
+                    "just wait for the same missing workers"
+                )
+            if kind != "remote":
+                raise ValueError(
+                    "--fallback-executor only applies with --executor remote"
+                )
         kernel = validate_kernel(getattr(args, "kernel", None))
         lanes = validate_lanes(getattr(args, "lanes", None))
         if kernel == "word" and lanes is not None and lanes > 64:
@@ -222,8 +242,11 @@ def _build_executor(args: argparse.Namespace, jobs: int | None = None):
 
     ``jobs`` sizes the local pool.  A remote coordinator prints its
     bound address to stderr and blocks until ``--min-workers`` workers
-    connect; ``TimeoutError`` (no workers) and ``ValueError`` (bad
-    ``--listen``) propagate for the caller to map onto exit codes.
+    connect; if too few arrive and ``--fallback-executor`` names a local
+    backend, the campaign degrades gracefully to that backend (results
+    are identical on any backend) instead of failing.  Otherwise
+    ``TimeoutError`` (no workers) and ``ValueError`` (bad ``--listen``)
+    propagate for the caller to map onto exit codes.
     """
     from repro.exec import make_executor, parse_address
     from repro.resilience import RetryPolicy
@@ -249,9 +272,18 @@ def _build_executor(args: argparse.Namespace, jobs: int | None = None):
         )
         try:
             executor.wait_for_workers(args.min_workers, timeout_s=args.worker_wait)
-        except TimeoutError:
+        except TimeoutError as exc:
             executor.close()
-            raise
+            fallback = getattr(args, "fallback_executor", None)
+            if fallback is None:
+                raise
+            print(
+                f"warning: {exc}; falling back to --executor {fallback} "
+                "(results are identical on any backend)",
+                file=sys.stderr,
+                flush=True,
+            )
+            return make_executor(fallback, jobs=jobs, policy=policy)
         return executor
     return make_executor(args.executor, jobs=jobs, policy=policy)
 
@@ -662,7 +694,12 @@ def _cmd_worker(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    return worker_loop(address, connect_timeout_s=args.connect_timeout)
+    return worker_loop(
+        address,
+        connect_timeout_s=args.connect_timeout,
+        reconnect=args.reconnect,
+        max_reconnects=args.max_reconnects,
+    )
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
@@ -911,6 +948,14 @@ def _add_executor_args(p: argparse.ArgumentParser) -> None:
         metavar="SECONDS",
         help="how long to wait for --min-workers remote workers",
     )
+    p.add_argument(
+        "--fallback-executor",
+        metavar="BACKEND",
+        default=None,
+        help="local backend (inprocess or pool) to run the campaign on "
+        "when --min-workers remote workers never connect, instead of "
+        "failing (results are identical on any backend)",
+    )
 
 
 def _add_kernel_args(p: argparse.ArgumentParser) -> None:
@@ -1112,6 +1157,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir",
         metavar="DIR",
         help="artifact cache directory (default: adopt the coordinator's)",
+    )
+    p.add_argument(
+        "--reconnect",
+        action="store_true",
+        help="re-dial and re-handshake into the campaign when the "
+        "connection is lost (the coordinator re-adopts the seat)",
+    )
+    p.add_argument(
+        "--max-reconnects",
+        type=int,
+        default=5,
+        metavar="N",
+        help="reconnect budget under deterministic exponential backoff "
+        "(only with --reconnect)",
     )
     p.set_defaults(func=_cmd_worker)
 

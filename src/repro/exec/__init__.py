@@ -111,14 +111,18 @@ def make_executor(
     listen: tuple[str, int] | None = None,
     authkey: bytes | None = None,
     accept_grace_s: float = 30.0,
+    heartbeat_s: float = 2.0,
+    heartbeat_misses: int = 3,
+    recv_timeout_s: float = 10.0,
 ) -> Executor:
     """Build the executor named by ``kind`` (one CLI flag, one seam).
 
     ``jobs`` sizes the local pool; ``listen`` / ``authkey`` /
-    ``accept_grace_s`` configure the remote coordinator; ``collect``
-    controls worker obs snapshots (``None`` defers to the registry's
-    enabled state at first use).  Raises ``ValueError`` for an unknown
-    kind.
+    ``accept_grace_s`` / ``heartbeat_s`` / ``heartbeat_misses`` /
+    ``recv_timeout_s`` configure the remote coordinator's fleet
+    supervision; ``collect`` controls worker obs snapshots (``None``
+    defers to the registry's enabled state at first use).  Raises
+    ``ValueError`` for an unknown kind.
     """
     validate_executor_kind(kind)
     if kind == "inprocess":
@@ -133,4 +137,7 @@ def make_executor(
         policy=policy,
         collect=collect,
         accept_grace_s=accept_grace_s,
+        heartbeat_s=heartbeat_s,
+        heartbeat_misses=heartbeat_misses,
+        recv_timeout_s=recv_timeout_s,
     )

@@ -157,7 +157,15 @@ class Executor:
             if on_complete is not None:
                 on_complete(slot, outcome, snapshot)
 
-        self._execute(tasks, emit)
+        try:
+            self._execute(tasks, emit)
+        except BaseException:
+            # A raising drain (backend bug, on_complete callback error,
+            # KeyboardInterrupt) must still release workers, sockets,
+            # and listening ports -- a failed campaign cannot be allowed
+            # to leak them into the next run or test.
+            self.close()
+            raise
         return [f.result() for f in futures]
 
     # ------------------------------------------------------------------

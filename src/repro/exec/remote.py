@@ -1,62 +1,104 @@
-"""Remote executor: socket-connected workers via ``multiprocessing.connection``.
+"""Remote executor: a supervised fleet of socket-connected workers.
 
 The coordinator side (:class:`RemoteExecutor`) opens a stdlib
 ``Listener`` on ``HOST:PORT`` and a background accept thread; each
 worker -- launched anywhere that can reach the socket with ``repro-eda
 worker --connect HOST:PORT`` -- dials in (:func:`worker_loop`),
-handshakes, and then serves one task at a time.  The wire protocol is
-four message shapes, all pickled by the connection itself:
+handshakes, and then serves one task at a time.  Protocol version
+:data:`PROTO_VERSION`, all messages pickled by the connection itself:
 
-* worker -> coordinator: ``("hello", {"pid", "host"})`` once, on connect;
-* coordinator -> worker: ``("config", {"collect", "cache_dir", "db_path",
-  "db_run"})`` -- whether to ship per-task obs snapshots, the
-  coordinator's :mod:`repro.cache` directory so workers without one of
-  their own warm from the same artifact plane, and the coordinator's
-  :mod:`repro.expdb` database path + open run id so worker-side records
-  attach to the campaign's run;
-* coordinator -> worker: ``("task", index, task, attempt)`` per dispatch,
-  or ``None`` to shut the worker down;
-* worker -> coordinator: the exact reply tuple of the local pool
-  (:func:`repro.resilience.pool.attempt_reply`), so results, errors, and
-  obs snapshots look identical to :class:`~repro.exec.localpool.
-  LocalPoolExecutor` results.
+* worker -> coordinator: ``("hello", {"pid", "host", "proto",
+  "worker_id"})`` once, after the HMAC challenge;
+* coordinator -> worker: ``("config", {"collect", "cache_dir",
+  "db_path", "db_run", "heartbeat_s"})`` on acceptance -- or
+  ``("reject", reason)`` for a malformed hello or a protocol-version
+  mismatch, which the worker reports and exits 2 on;
+* worker -> coordinator: ``("pong", seq)`` every ``heartbeat_s`` from a
+  daemon beat thread, so liveness is observable even mid-task;
+* coordinator -> worker: ``("task", epoch, index, task, attempt)`` per
+  dispatch, or ``None`` to shut the worker down;
+* worker -> coordinator: ``("reply", epoch, attempt, payload)`` where
+  ``payload`` is the exact reply tuple of the local pool
+  (:func:`repro.resilience.pool.attempt_reply`).
 
-Failure semantics mirror the local pool with one structural difference:
-a remote seat cannot be respawned.  EOF on a worker's connection
-(crash, kill, network drop) drops the seat and requeues the attempt for
-any surviving worker (``runner.worker_crashes``); a worker that outlives
-its task deadline has its connection closed -- dropping the seat -- and
-the task is retried elsewhere (``runner.timeouts``).  If *no* workers
-remain and none arrive within the accept grace period, queued tasks
-degrade to :class:`repro.resilience.policy.TaskFailure` rather than
-hanging the campaign.  Tasks re-run with identical kwargs (same derived
-seed), so any schedule over any worker set yields byte-identical tables;
-checkpoint fingerprints (:mod:`repro.resilience.checkpoint`) exclude
-every executor knob, which is what makes a journal written by a remote
+Supervision -- the ways a seat is lost, all of which requeue its task:
+
+* **crash** -- EOF on the connection (worker death, network drop);
+  consumes one retry, exactly like a local pool worker crash.
+* **timeout** -- the task deadline passes; the seat is dropped (a
+  remote worker cannot be killed) and the attempt consumes one retry.
+* **partition** -- ``heartbeat_misses`` beat intervals pass without any
+  frame from the seat; the seat is dropped well before any task
+  deadline and the task requeues *without* consuming a retry (the task
+  did nothing wrong).  A per-recv socket timeout (``recv_timeout_s``,
+  applied with ``SO_RCVTIMEO``) bounds every read, so a peer trickling
+  bytes mid-frame is dropped the same way rather than blocking drain.
+* **corrupt frame** -- a frame that fails to unpickle drops the seat
+  and consumes one retry (the reply is unrecoverable).
+
+Replies are deduplicated by ``(epoch, index, attempt)``: a duplicated
+frame, a stale reply from a previous drain, or a reply for a slot that
+already finished elsewhere is counted and ignored, never double-emitted.
+A worker whose seat was dropped can rejoin (``repro-eda worker
+--reconnect``): it re-handshakes with the same ``worker_id`` and the
+coordinator re-adopts the seat, counting the rejoin separately from a
+first connect.  Malformed or wrong-protocol peers are rejected on the
+accept thread with a counter -- never a crash, never a hang (the
+handshake runs under the same socket timeouts).
+
+If *no* workers remain and none arrive within the accept grace period,
+queued tasks degrade to :class:`repro.resilience.policy.TaskFailure`
+rather than hanging the campaign (the CLI's ``--fallback-executor``
+avoids even that by rerunning locally when the fleet never forms).
+Tasks re-run with identical kwargs (same derived seed), so any schedule
+over any worker set yields byte-identical tables; checkpoint
+fingerprints (:mod:`repro.resilience.checkpoint`) exclude every
+executor knob, which is what makes a journal written by a remote
 campaign resumable on a different backend or host.
 
 Fault injection is per-process: a worker arms ``REPRO_FAULT`` from its
-*own* environment (:mod:`repro.resilience.faultpoints` reads it lazily),
-so a crash can be injected into one worker of a fleet.  Connections are
+*own* environment (:mod:`repro.resilience.faultpoints` reads it
+lazily), so a crash can be injected into one worker of a fleet.  Both
+ends send through :class:`repro.resilience.faultpoints.ChaosConnection`,
+so ``net:`` specs (drop / garbage / dup / trickle / ...) exercise every
+supervision path above deterministically.  Connections are
 authenticated with the usual HMAC challenge; set ``REPRO_EXEC_AUTHKEY``
 on both ends to replace the default shared key.
+
+Fleet-health counters land under ``fleet.*`` (the "fleet supervision"
+section of the ``--stats`` report, persisted in expdb run snapshots):
+workers connected / seats rejoined / rejected peers, heartbeat misses,
+seats dropped, requeues, corrupt frames, duplicate replies, and
+per-worker tasks served.
 """
 
 from __future__ import annotations
 
 import os
+import pickle
 import socket
+import struct
 import sys
+import threading
 import time
 from dataclasses import dataclass
-from multiprocessing.connection import Client, Connection, Listener, wait as conn_wait
+from multiprocessing import AuthenticationError
+from multiprocessing.connection import (
+    Client,
+    Listener,
+    answer_challenge,
+    deliver_challenge,
+)
+from multiprocessing.connection import wait as conn_wait
 from typing import Any, Callable, Sequence
 
 from repro import obs
 from repro.exec.base import Executor
+from repro.resilience.faultpoints import ChaosConnection
 from repro.resilience.policy import (
     KIND_CRASH,
     KIND_ERROR,
+    KIND_PARTITION,
     KIND_TIMEOUT,
     RetryPolicy,
     TaskFailure,
@@ -65,11 +107,18 @@ from repro.resilience.policy import (
 #: Environment variable overriding the connection auth key on both ends.
 AUTHKEY_ENV = "REPRO_EXEC_AUTHKEY"
 
+#: Wire protocol version; peers speaking any other version are rejected.
+PROTO_VERSION = 2
+
 #: Default HMAC auth key (localhost smoke setups; override for real fleets).
 _DEFAULT_AUTHKEY = b"repro-exec-v1"
 
 #: How long :meth:`RemoteExecutor.close` waits for the accept thread.
 _JOIN_TIMEOUT_S = 2.0
+
+#: Reconnect backoff: ``min(cap, base * 2**n)`` -- deterministic, no jitter.
+_RECONNECT_BASE_S = 0.1
+_RECONNECT_CAP_S = 2.0
 
 
 def _resolve_authkey(explicit: bytes | None) -> bytes:
@@ -98,16 +147,65 @@ def parse_address(spec: str) -> tuple[str, int]:
     return host, port
 
 
+def worker_id() -> str:
+    """This process's stable fleet identity (``host-pid``); survives rejoin."""
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+def _set_socket_timeouts(conn: Any, timeout_s: float) -> None:
+    """Apply ``SO_RCVTIMEO``/``SO_SNDTIMEO`` to a ``Connection``'s socket.
+
+    The options live on the underlying socket (shared by every dup of
+    the descriptor), so a stalled peer makes any later blocking read or
+    write raise instead of hanging the thread.  Best-effort: a platform
+    that refuses the option just keeps blocking semantics.
+    """
+    tv = struct.pack("ll", int(timeout_s), int((timeout_s % 1.0) * 1_000_000))
+    try:
+        sock = socket.socket(fileno=os.dup(conn.fileno()))
+    except OSError:
+        return
+    try:
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_RCVTIMEO, tv)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_SNDTIMEO, tv)
+    except OSError:
+        pass
+    finally:
+        sock.close()
+
+
+class _Reject(Exception):
+    """Accept-thread verdict: peer spoke, but not our protocol."""
+
+
+#: Sentinel returned by :func:`_recv_msg` when the session is over.
+_LOST = object()
+
+
+def _recv_msg(conn: Any) -> Any:
+    """One defensive receive: a dead peer or corrupt frame yields ``_LOST``.
+
+    ``None`` (the shutdown sentinel) is a valid message, hence the
+    dedicated sentinel object for "this connection is done".
+    """
+    try:
+        return pickle.loads(conn.recv_bytes())
+    except Exception:
+        return _LOST
+
+
 @dataclass
 class _Seat:
-    """One connected worker: its socket and what it is running."""
+    """One connected worker: its socket, identity, and what it is running."""
 
-    conn: Connection
+    conn: ChaosConnection
     info: dict
+    worker_id: str
     busy_index: int | None = None
     attempt: int = 0
     deadline: float | None = None
     timeout_s: float | None = None
+    last_beat: float = 0.0
 
 
 @dataclass
@@ -120,7 +218,7 @@ class _Queued:
 
 
 class RemoteExecutor(Executor):
-    """Coordinate socket-connected workers (see module docstring)."""
+    """Coordinate a supervised worker fleet (see module docstring)."""
 
     kind = "remote"
     ships_snapshots = True
@@ -133,6 +231,9 @@ class RemoteExecutor(Executor):
         policy: RetryPolicy | None = None,
         collect: bool | None = None,
         accept_grace_s: float = 30.0,
+        heartbeat_s: float = 2.0,
+        heartbeat_misses: int = 3,
+        recv_timeout_s: float = 10.0,
     ) -> None:
         """Listen on ``listen`` (``port 0`` = OS-assigned) for workers.
 
@@ -140,19 +241,32 @@ class RemoteExecutor(Executor):
         (``None`` = whatever the registry's enabled state is when each
         worker handshakes).  ``accept_grace_s`` bounds how long a drain
         with zero connected workers waits for one before degrading the
-        queued tasks to ``TaskFailure``.
+        queued tasks to ``TaskFailure``.  ``heartbeat_s`` is the pong
+        interval workers are told to beat at; a seat silent for
+        ``heartbeat_s * heartbeat_misses`` is presumed partitioned and
+        dropped.  ``recv_timeout_s`` bounds every blocking socket read
+        (handshake and drain), so a trickling peer is dropped rather
+        than wedging a thread.
         """
         super().__init__(policy)
-        import threading
-
         self._collect = collect
         self.accept_grace_s = accept_grace_s
-        self._listener = Listener(tuple(listen), authkey=_resolve_authkey(authkey))
+        self.heartbeat_s = heartbeat_s
+        self.heartbeat_misses = heartbeat_misses
+        self.recv_timeout_s = recv_timeout_s
+        self._authkey = _resolve_authkey(authkey)
+        # No authkey on the Listener: the challenge runs manually in the
+        # accept loop, *after* socket timeouts are applied, so a silent
+        # or garbage-sending peer cannot wedge the accept thread.
+        self._listener = Listener(tuple(listen))
         #: The bound ``(host, port)`` workers should connect to.
         self.address: tuple[str, int] = self._listener.address
         self._lock = threading.Lock()
         self._arrivals: list[_Seat] = []
         self._seats: list[_Seat] = []
+        self._pending_counts: dict[str, int] = {}
+        self._known_ids: set[str] = set()
+        self._epoch = 0
         self._closing = False
         self._accept_thread = threading.Thread(
             target=self._accept_loop, name="repro-exec-accept", daemon=True
@@ -160,25 +274,61 @@ class RemoteExecutor(Executor):
         self._accept_thread.start()
 
     # -- worker intake --------------------------------------------------
-    def _accept_loop(self) -> None:
-        """Accept + handshake workers forever; runs on a daemon thread.
+    def _bump(self, name: str, n: int = 1) -> None:
+        """Record a counter from the accept thread (obs is not thread-safe)."""
+        with self._lock:
+            self._pending_counts[name] = self._pending_counts.get(name, 0) + n
 
-        No obs calls happen here -- the registry is not thread-safe by
-        contract; arrival counts surface from the scheduler loop instead.
+    def _flush_counts(self) -> None:
+        """Surface accept-thread counters into obs (scheduler thread only)."""
+        with self._lock:
+            pending, self._pending_counts = self._pending_counts, {}
+        for name, n in pending.items():
+            obs.count(name, n)
+
+    def _accept_loop(self) -> None:
+        """Accept, authenticate, and vet workers forever; daemon thread.
+
+        Every step after ``accept`` runs under the per-recv socket
+        timeout, so no peer -- silent, trickling, or hostile -- can
+        wedge this thread.  Peers that fail the HMAC challenge, send a
+        malformed hello, or speak the wrong protocol version are
+        counted (``fleet.rejected_peers``) and closed, never crashed
+        on.  No obs calls happen here -- the registry is not
+        thread-safe by contract; counts surface from the scheduler loop.
         """
         while not self._closing:
             try:
                 conn = self._listener.accept()
-            except Exception:  # closed listener, failed HMAC handshake, ...
+            except Exception:  # closed listener mid-accept, ...
                 if self._closing:
                     return
                 time.sleep(0.05)
                 continue
-            try:
-                msg = conn.recv()
-                if not (isinstance(msg, tuple) and msg and msg[0] == "hello"):
+            if self._closing:  # woken by close()'s nudge connection
+                try:
                     conn.close()
-                    continue
+                except OSError:
+                    pass
+                return
+            try:
+                _set_socket_timeouts(conn, self.recv_timeout_s)
+                deliver_challenge(conn, self._authkey)
+                answer_challenge(conn, self._authkey)
+                msg = conn.recv()
+                if not (
+                    isinstance(msg, tuple)
+                    and len(msg) == 2
+                    and msg[0] == "hello"
+                    and isinstance(msg[1], dict)
+                ):
+                    raise _Reject("malformed hello")
+                info = msg[1]
+                if info.get("proto") != PROTO_VERSION:
+                    raise _Reject(
+                        f"protocol version {info.get('proto')!r}, "
+                        f"coordinator speaks {PROTO_VERSION}"
+                    )
                 collect = obs.enabled() if self._collect is None else self._collect
                 from repro import cache, expdb
 
@@ -190,24 +340,43 @@ class RemoteExecutor(Executor):
                             "cache_dir": os.environ.get(cache.ENV_VAR),
                             "db_path": os.environ.get(expdb.ENV_VAR),
                             "db_run": os.environ.get(expdb.RUN_ENV_VAR),
+                            "heartbeat_s": self.heartbeat_s,
                         },
                     )
                 )
-            except (EOFError, OSError):
+            except Exception as exc:
+                if isinstance(exc, _Reject):
+                    try:
+                        conn.send(("reject", str(exc)))
+                    except (OSError, ValueError):
+                        pass
                 try:
                     conn.close()
                 except OSError:
                     pass
+                self._bump("fleet.rejected_peers")
                 continue
+            wid = str(info.get("worker_id") or f"{info.get('host')}-{info.get('pid')}")
+            seat = _Seat(
+                conn=ChaosConnection(conn, role="coordinator"),
+                info=dict(info),
+                worker_id=wid,
+                last_beat=time.monotonic(),
+            )
             with self._lock:
-                self._arrivals.append(_Seat(conn=conn, info=dict(msg[1])))
+                rejoined = wid in self._known_ids
+                self._known_ids.add(wid)
+                name = "fleet.seats_rejoined" if rejoined else "fleet.workers_connected"
+                self._pending_counts[name] = self._pending_counts.get(name, 0) + 1
+                self._arrivals.append(seat)
 
     def wait_for_workers(self, n: int, timeout_s: float = 30.0) -> int:
         """Block until ``n`` workers have connected; returns the count.
 
         Raises ``TimeoutError`` if fewer than ``n`` arrive in time --
-        the CLI surfaces this instead of starting a campaign that would
-        immediately starve.
+        the CLI surfaces this (or falls back to a local backend with
+        ``--fallback-executor``) instead of starting a campaign that
+        would immediately starve.
         """
         deadline = time.monotonic() + timeout_s
         while True:
@@ -223,8 +392,11 @@ class RemoteExecutor(Executor):
             time.sleep(0.05)
 
     def _adopt_arrivals(self) -> None:
+        now = time.monotonic()
         with self._lock:
             arrivals, self._arrivals = self._arrivals, []
+        for seat in arrivals:
+            seat.last_beat = now
         self._seats.extend(arrivals)
 
     def _drop_seat(self, seat: _Seat) -> None:
@@ -234,6 +406,7 @@ class RemoteExecutor(Executor):
             pass
         if seat in self._seats:
             self._seats.remove(seat)
+            obs.count("fleet.seats_dropped")
 
     # -- scheduling -----------------------------------------------------
     def _execute(
@@ -243,14 +416,22 @@ class RemoteExecutor(Executor):
     ) -> None:
         """Schedule the drained batch over whatever workers are connected.
 
-        Workers may arrive mid-drain (they are adopted each loop pass)
-        and die mid-drain (their task is requeued); the loop ends when
-        every slot has emitted exactly once.
+        Workers may arrive, rejoin, partition, trickle, or die
+        mid-drain; the loop ends when every slot has emitted exactly
+        once.  Replies are deduplicated by ``(epoch, index, attempt)``
+        so no chaos schedule can double-emit a slot.
         """
+        self._epoch += 1
+        epoch = self._epoch
         queue = [_Queued(index=i) for i in range(len(tasks))]
         done: set[int] = set()
+        resolved: set[tuple[int, int]] = set()
         started: dict[int, float] = {}
         starved_since: float | None = None
+        beat_window = self.heartbeat_s * self.heartbeat_misses
+        now = time.monotonic()
+        for seat in self._seats:  # inter-drain silence is not a partition
+            seat.last_beat = now
 
         def finish(index: int, outcome: Any, snapshot: dict | None) -> None:
             done.add(index)
@@ -258,6 +439,17 @@ class RemoteExecutor(Executor):
 
         def retry_or_fail(index: int, attempt: int, kind: str, message: str) -> None:
             task = tasks[index]
+            if kind in (KIND_CRASH, KIND_TIMEOUT, KIND_PARTITION):
+                obs.count("fleet.requeues")
+            if kind == KIND_PARTITION:
+                # The task did nothing wrong -- its seat went silent.
+                # Requeue on the same attempt so a flaky network cannot
+                # eat the retry budget; the dropped seat throttles any
+                # rejoin ping-pong to one loss per heartbeat window.
+                queue.append(
+                    _Queued(index=index, attempt=attempt, ready_at=time.monotonic())
+                )
+                return
             if attempt < self.policy.effective_retries(task.max_retries):
                 obs.count("runner.retries")
                 with obs.span(
@@ -286,7 +478,15 @@ class RemoteExecutor(Executor):
                 None,
             )
 
+        def lose_seat(seat: _Seat, kind: str, message: str, counter: str) -> None:
+            index, attempt = seat.busy_index, seat.attempt
+            self._drop_seat(seat)
+            obs.count(counter)
+            if index is not None and index not in done:
+                retry_or_fail(index, attempt, kind, message)
+
         while len(done) < len(tasks):
+            self._flush_counts()
             self._adopt_arrivals()
             now = time.monotonic()
             # Dispatch ready work onto idle seats.
@@ -298,7 +498,7 @@ class RemoteExecutor(Executor):
                     break
                 task = tasks[item.index]
                 try:
-                    seat.conn.send(("task", item.index, task, item.attempt))
+                    seat.conn.send(("task", epoch, item.index, task, item.attempt))
                 except (OSError, ValueError):
                     self._drop_seat(seat)
                     queue.insert(0, item)
@@ -309,7 +509,6 @@ class RemoteExecutor(Executor):
                 seat.timeout_s = timeout
                 seat.deadline = (now + timeout) if timeout else None
                 started.setdefault(item.index, now)
-            busy = [s for s in self._seats if s.busy_index is not None]
             if not self._seats:
                 # Zero workers: wait out the grace period, then degrade.
                 starved_since = starved_since if starved_since is not None else now
@@ -337,34 +536,78 @@ class RemoteExecutor(Executor):
                 time.sleep(0.05)
                 continue
             starved_since = None
+            busy = [s for s in self._seats if s.busy_index is not None]
             horizons = [s.deadline for s in busy if s.deadline is not None]
             horizons += [q.ready_at for q in queue if q.ready_at > now]
+            horizons += [s.last_beat + beat_window for s in self._seats]
             timeout = max(0.0, min(horizons) - now) if horizons else 0.2
-            if not busy:
-                # Idle seats but nothing ready (backoff pending) -- or a
-                # fresh arrival will be adopted next pass.
-                time.sleep(min(timeout, 0.05))
-                continue
-            for conn in conn_wait([s.conn for s in busy], timeout):
-                seat = next(s for s in busy if s.conn is conn)
-                index, attempt = seat.busy_index, seat.attempt
+            # Wait on *every* seat: idle seats still beat, and their
+            # pongs must be drained for the partition sweep to be fair.
+            for conn in conn_wait([s.conn for s in self._seats], min(timeout, 0.2)):
+                seat = next(s for s in self._seats if s.conn is conn)
                 try:
-                    reply = conn.recv()
-                except (EOFError, OSError):
-                    self._drop_seat(seat)
-                    obs.count("runner.worker_crashes")
-                    if index is not None:
-                        retry_or_fail(
-                            index, attempt, KIND_CRASH, "remote worker disconnected"
-                        )
+                    frame = seat.conn.recv_bytes()
+                except EOFError:
+                    lose_seat(
+                        seat,
+                        KIND_CRASH,
+                        "remote worker disconnected",
+                        "runner.worker_crashes",
+                    )
                     continue
-                seat.busy_index = None
-                seat.deadline = None
-                r_index, status, payload, snapshot = reply
+                except BlockingIOError:
+                    # Mid-frame stall past recv_timeout_s: trickling peer.
+                    lose_seat(
+                        seat,
+                        KIND_PARTITION,
+                        f"peer stalled mid-frame beyond {self.recv_timeout_s:g}s",
+                        "fleet.stalled_recvs",
+                    )
+                    continue
+                except OSError:
+                    lose_seat(
+                        seat,
+                        KIND_CRASH,
+                        "remote worker connection failed",
+                        "runner.worker_crashes",
+                    )
+                    continue
+                try:
+                    msg = pickle.loads(frame)
+                    if not (isinstance(msg, tuple) and msg):
+                        raise ValueError(f"unexpected frame {msg!r}")
+                    if msg[0] == "reply":
+                        _, r_epoch, r_attempt, payload = msg
+                        r_index, status, result, snapshot = payload
+                except Exception:
+                    lose_seat(
+                        seat,
+                        KIND_CRASH,
+                        "corrupt frame from remote worker",
+                        "fleet.corrupt_frames",
+                    )
+                    continue
+                seat.last_beat = time.monotonic()
+                if msg[0] == "pong":
+                    continue
+                if msg[0] != "reply":
+                    continue  # unknown-but-wellformed: ignore, stay seated
+                if seat.busy_index == r_index and seat.attempt == r_attempt:
+                    seat.busy_index = None
+                    seat.deadline = None
+                if (
+                    r_epoch != epoch
+                    or r_index in done
+                    or (r_index, r_attempt) in resolved
+                ):
+                    obs.count("fleet.duplicate_replies")
+                    continue
+                resolved.add((r_index, r_attempt))
+                obs.count(f"fleet.served.{seat.worker_id}")
                 if status == "ok":
-                    finish(r_index, payload, snapshot)
+                    finish(r_index, result, snapshot)
                 else:
-                    retry_or_fail(r_index, attempt, KIND_ERROR, payload)
+                    retry_or_fail(r_index, r_attempt, KIND_ERROR, result)
             # Deadline sweep: a hung remote worker cannot be killed, but
             # its seat can be dropped so the task retries elsewhere.
             now = time.monotonic()
@@ -377,12 +620,28 @@ class RemoteExecutor(Executor):
                     continue
                 if seat.conn.poll(0):  # finished just as the deadline passed
                     continue
-                index, attempt, timeout_s = seat.busy_index, seat.attempt, seat.timeout_s
-                self._drop_seat(seat)
-                obs.count("runner.timeouts")
-                retry_or_fail(
-                    index, attempt, KIND_TIMEOUT, f"exceeded timeout_s={timeout_s:g}"
+                timeout_s = seat.timeout_s
+                lose_seat(
+                    seat,
+                    KIND_TIMEOUT,
+                    f"exceeded timeout_s={timeout_s:g}",
+                    "runner.timeouts",
                 )
+            # Partition sweep: a seat silent for the whole miss window
+            # (no reply, no pong) is unreachable even if its socket is
+            # nominally open; drop it long before any task deadline.
+            for seat in list(self._seats):
+                if now - seat.last_beat <= beat_window:
+                    continue
+                if seat.conn.poll(0):  # bytes pending; recv next pass
+                    continue
+                lose_seat(
+                    seat,
+                    KIND_PARTITION,
+                    f"no heartbeat for {beat_window:g}s",
+                    "fleet.heartbeat_misses",
+                )
+        self._flush_counts()
 
     @staticmethod
     def _pop_ready(queue: list[_Queued], now: float) -> _Queued | None:
@@ -393,7 +652,13 @@ class RemoteExecutor(Executor):
 
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Send every worker its shutdown sentinel and stop listening."""
+        """Send every worker its shutdown sentinel and stop listening.
+
+        Safe to call from any failure path (``Executor.drain`` calls it
+        when a drain raises): the ``Listener`` is closed and the accept
+        thread joined even then, so a failed campaign never leaks its
+        port into the next test or run.
+        """
         self._closing = True
         self._adopt_arrivals()
         seats, self._seats = self._seats, []
@@ -407,10 +672,19 @@ class RemoteExecutor(Executor):
             except OSError:
                 pass
         try:
-            self._listener.close()  # unblocks the accept thread
+            # A thread blocked in accept() is not interrupted by closing
+            # the listening socket on Linux; nudge it awake with a
+            # throwaway connection so it can observe ``_closing``.
+            with socket.create_connection(self.address, timeout=1.0):
+                pass
+        except OSError:
+            pass
+        try:
+            self._listener.close()
         except OSError:
             pass
         self._accept_thread.join(_JOIN_TIMEOUT_S)
+        self._flush_counts()
 
 
 # ---------------------------------------------------------------------------
@@ -418,52 +692,89 @@ class RemoteExecutor(Executor):
 # ---------------------------------------------------------------------------
 
 
-def worker_loop(
+def _dial(
     address: tuple[str, int],
-    authkey: bytes | None = None,
-    connect_timeout_s: float = 60.0,
-    poll_s: float = 0.5,
-) -> int:
-    """Serve tasks from the coordinator at ``address``; returns an exit code.
+    key: bytes,
+    connect_timeout_s: float,
+    poll_s: float,
+) -> Any:
+    """Dial the coordinator; returns a ``Connection`` or an exit code.
 
-    This is the body of ``repro-eda worker --connect HOST:PORT``.  The
-    loop dials until the coordinator appears (retrying for up to
-    ``connect_timeout_s`` -- workers may legitimately start first),
-    handshakes, adopts the coordinator's cache directory when it has
-    none of its own, and then answers ``("task", ...)`` messages with
-    :func:`repro.resilience.pool.attempt_reply` tuples until it receives
-    the ``None`` sentinel or EOF.  Fault points arm from this process's
-    *own* ``REPRO_FAULT`` environment, so one worker of a fleet can be
-    made to crash while the rest stay healthy.
+    Retries for up to ``connect_timeout_s`` (workers may legitimately
+    start first).  An unreachable coordinator yields exit code 2 with a
+    one-line ``host:port`` + errno diagnostic; a failed HMAC challenge
+    yields exit code 2 with an authentication message -- never a raw
+    traceback.
+    """
+    deadline = time.monotonic() + connect_timeout_s
+    last_error: OSError | None = None
+    while True:
+        try:
+            return Client(tuple(address), authkey=key)
+        except AuthenticationError:
+            print(
+                f"repro-eda worker: authentication failed for "
+                f"{address[0]}:{address[1]} (check {AUTHKEY_ENV} on both ends)",
+                file=sys.stderr,
+            )
+            return 2
+        except (OSError, EOFError) as exc:
+            if isinstance(exc, OSError):
+                last_error = exc
+            if time.monotonic() > deadline:
+                detail = f": {last_error}" if last_error is not None else ""
+                print(
+                    f"repro-eda worker: no coordinator at "
+                    f"{address[0]}:{address[1]} after {connect_timeout_s:g}s"
+                    f"{detail}",
+                    file=sys.stderr,
+                )
+                return 2
+            time.sleep(poll_s)
+
+
+def _serve(raw_conn: Any) -> str:
+    """One worker session: handshake, beat, serve tasks until it ends.
+
+    Returns ``"shutdown"`` (coordinator sent the sentinel),
+    ``"rejected"`` (coordinator refused the hello), or ``"lost"``
+    (connection died -- the caller may reconnect).
     """
     from repro import cache, expdb
     from repro.resilience.pool import attempt_reply
 
-    key = _resolve_authkey(authkey)
-    deadline = time.monotonic() + connect_timeout_s
-    conn = None
-    while conn is None:
-        try:
-            conn = Client(tuple(address), authkey=key)
-        except (OSError, EOFError):
-            if time.monotonic() > deadline:
-                print(
-                    f"repro-eda worker: no coordinator at "
-                    f"{address[0]}:{address[1]} after {connect_timeout_s:g}s",
-                    file=sys.stderr,
-                )
-                return 1
-            time.sleep(poll_s)
+    conn = ChaosConnection(raw_conn, role="worker")
+    send_lock = threading.Lock()
+    stop = threading.Event()
+    beat_thread: threading.Thread | None = None
     try:
-        conn.send(("hello", {"pid": os.getpid(), "host": socket.gethostname()}))
-        try:
-            msg = conn.recv()
-        except EOFError:
-            return 0
+        with send_lock:
+            conn.send(
+                (
+                    "hello",
+                    {
+                        "pid": os.getpid(),
+                        "host": socket.gethostname(),
+                        "proto": PROTO_VERSION,
+                        "worker_id": worker_id(),
+                    },
+                )
+            )
+        msg = _recv_msg(conn)
+        if msg is _LOST:
+            return "lost"
+        if isinstance(msg, tuple) and msg and msg[0] == "reject":
+            print(
+                f"repro-eda worker: rejected by coordinator: {msg[1]}",
+                file=sys.stderr,
+            )
+            return "rejected"
         collect = False
+        heartbeat_s = 2.0
         if isinstance(msg, tuple) and msg and msg[0] == "config":
             config = msg[1]
             collect = bool(config.get("collect"))
+            heartbeat_s = float(config.get("heartbeat_s") or heartbeat_s)
             cache_dir = config.get("cache_dir")
             if cache_dir and not os.environ.get(cache.ENV_VAR):
                 os.environ[cache.ENV_VAR] = str(cache_dir)
@@ -475,23 +786,92 @@ def worker_loop(
                 if db_run:
                     os.environ[expdb.RUN_ENV_VAR] = str(db_run)
                 expdb.reset()
+
+        def _beat() -> None:
+            """Send a pong every interval until stopped or the pipe dies."""
+            seq = 0
+            while not stop.wait(heartbeat_s):
+                seq += 1
+                try:
+                    with send_lock:
+                        conn.send(("pong", seq))
+                except (OSError, ValueError):
+                    return
+
+        beat_thread = threading.Thread(
+            target=_beat, name="repro-worker-beat", daemon=True
+        )
+        beat_thread.start()
         while True:
-            try:
-                item = conn.recv()
-            except EOFError:
-                return 0
+            item = _recv_msg(conn)
+            if item is _LOST:
+                return "lost"
             if item is None:
-                return 0
-            _, index, task, attempt = item
+                return "shutdown"
+            try:
+                _, epoch, index, task, attempt = item
+            except (TypeError, ValueError):
+                return "lost"  # coordinator-side frame corruption
             reply = attempt_reply(index, task, attempt, collect)
             try:
-                conn.send(reply)
+                with send_lock:
+                    conn.send(("reply", epoch, attempt, reply))
             except (OSError, ValueError):
-                # The coordinator dropped this seat (deadline sweep or
-                # shutdown); nothing left to serve.
-                return 0
+                # The coordinator dropped this seat (deadline sweep,
+                # partition sweep, or shutdown); nothing left to serve.
+                return "lost"
     finally:
+        stop.set()
+        if beat_thread is not None:
+            beat_thread.join(0.2)
         try:
-            conn.close()
+            raw_conn.close()
         except OSError:
             pass
+
+
+def worker_loop(
+    address: tuple[str, int],
+    authkey: bytes | None = None,
+    connect_timeout_s: float = 60.0,
+    poll_s: float = 0.5,
+    reconnect: bool = False,
+    max_reconnects: int = 5,
+) -> int:
+    """Serve tasks from the coordinator at ``address``; returns an exit code.
+
+    This is the body of ``repro-eda worker --connect HOST:PORT``.  Each
+    session dials (retrying for up to ``connect_timeout_s``),
+    handshakes, adopts the coordinator's cache/db planes when it has
+    none of its own, beats every ``heartbeat_s`` from a daemon thread,
+    and answers ``("task", ...)`` messages until the ``None`` sentinel
+    (exit 0), a rejection (exit 2), or a lost connection.  With
+    ``reconnect=True`` a lost connection re-dials up to
+    ``max_reconnects`` times under deterministic exponential backoff,
+    re-handshaking into the same campaign with the same ``worker_id``
+    so the coordinator counts the seat as rejoined.  Fault points arm
+    from this process's *own* ``REPRO_FAULT`` environment, so one
+    worker of a fleet can be made to crash -- or have its wire chaos'd
+    (``net:worker.*``) -- while the rest stay healthy.
+    """
+    key = _resolve_authkey(authkey)
+    rejoins = 0
+    while True:
+        conn = _dial(tuple(address), key, connect_timeout_s, poll_s)
+        if isinstance(conn, int):
+            return conn
+        outcome = _serve(conn)
+        if outcome == "shutdown":
+            return 0
+        if outcome == "rejected":
+            return 2
+        if not reconnect or rejoins >= max_reconnects:
+            return 0
+        delay = min(_RECONNECT_CAP_S, _RECONNECT_BASE_S * 2.0**rejoins)
+        rejoins += 1
+        print(
+            f"repro-eda worker: connection lost; reconnect "
+            f"{rejoins}/{max_reconnects} in {delay:g}s",
+            file=sys.stderr,
+        )
+        time.sleep(delay)

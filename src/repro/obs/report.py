@@ -56,6 +56,7 @@ SECTIONS: tuple[tuple[str, str], ...] = (
     ("TPDF pipeline", "tpdf."),
     ("experiment runner", "runner."),
     ("execution plane", "executor."),
+    ("fleet supervision", "fleet."),
 )
 
 

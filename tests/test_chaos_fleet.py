@@ -1,0 +1,405 @@
+"""Chaos harness for the supervised remote fleet.
+
+The acceptance bar for the fleet (pinned here and by the CI
+``chaos-smoke`` job): a seeded chaos schedule -- a worker killed
+mid-task, a partitioned-but-connected worker, a corrupt reply frame,
+and a worker rejoining the campaign -- run against the tiny Table 4.3
+campaign must yield output byte-identical to a clean serial run, with
+zero degraded rows.  Alongside the full campaign, the supervision
+mechanisms are each pinned in isolation:
+
+* heartbeat detection of a partitioned worker fires well before the
+  task deadline (the timed test);
+* a trickling peer is dropped by the per-recv timeout instead of
+  blocking drain;
+* garbage or wrong-protocol peers are rejected on the accept thread
+  with a counter, never a crash;
+* ``repro-eda worker`` exits 2 with a one-line diagnostic for an
+  unreachable coordinator or a bad auth key;
+* a drain that raises still closes the ``Listener`` and joins the
+  accept thread (no port leak across tests);
+* ``--fallback-executor`` degrades a workerless campaign to a local
+  backend instead of failing.
+"""
+
+import os
+import socket
+import subprocess
+import sys
+import threading
+import time
+from argparse import Namespace
+from pathlib import Path
+
+import pytest
+
+from repro import obs
+from repro.core.builtin_gen import BuiltinGenConfig
+from repro.exec.remote import PROTO_VERSION, RemoteExecutor, worker_loop
+from repro.experiments.runner import ExperimentTask, run_tasks
+from repro.experiments.tables4 import render_table_4_3, run_table_4_3
+from repro.resilience import faultpoints
+from repro.resilience.deadline import clear_task_deadline
+from repro.resilience.policy import RetryPolicy
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: Generous retry budget with fast backoff: chaos consumes attempts,
+#: determinism must not depend on how many it takes.
+CHAOS_POLICY = RetryPolicy(max_retries=8, backoff_base_s=0.01, backoff_cap_s=0.05)
+
+#: The same tiny Table 4.3 campaign the executor contract suite pins.
+TINY_43 = dict(
+    targets=("s27", "s298"),
+    drivers=("s953",),
+    config=BuiltinGenConfig(
+        segment_length=40, time_limit=None, rng_seed=2,
+        q_limit=1, r_limit=2, max_sequences=2,
+    ),
+    n_sequences=2,
+    func_length=30,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_state():
+    faultpoints.install(None)
+    clear_task_deadline()
+    obs.disable()
+    obs.reset()
+    yield
+    faultpoints.install(None)
+    clear_task_deadline()
+    obs.disable()
+    obs.reset()
+
+
+def _square(x):
+    return x * x
+
+
+def _tasks(count=4, timeout_s=None):
+    return [
+        ExperimentTask(key=f"sq/{i}", fn=_square, kwargs={"x": i}, timeout_s=timeout_s)
+        for i in range(count)
+    ]
+
+
+def _spawn_worker(port, fault=None, reconnect=False, max_reconnects=5):
+    """Launch one real ``repro-eda worker`` with its own fault schedule."""
+    env = os.environ.copy()
+    env.pop(faultpoints.ENV_VAR, None)
+    env["PYTHONPATH"] = f"{REPO / 'src'}{os.pathsep}{REPO}"
+    if fault:
+        env[faultpoints.ENV_VAR] = fault
+    cmd = [
+        sys.executable, "-m", "repro.cli", "worker",
+        "--connect", f"127.0.0.1:{port}",
+        "--connect-timeout", "60",
+    ]
+    if reconnect:
+        cmd += ["--reconnect", "--max-reconnects", str(max_reconnects)]
+    return subprocess.Popen(cmd, cwd=REPO, env=env)
+
+
+def _reap(procs, timeout=15):
+    for proc in procs:
+        try:
+            proc.wait(timeout=timeout)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait(timeout=timeout)
+
+
+def _fleet_counters():
+    return {
+        k: v
+        for k, v in obs.registry().counters.items()
+        if k.startswith(("fleet.", "runner."))
+    }
+
+
+class TestChaosCampaign:
+    def test_seeded_chaos_schedule_is_byte_identical_to_clean_run(self):
+        """Kill + partition + corrupt frame + rejoin; zero degraded rows.
+
+        Workers are adopted in spawn order (each ``wait_for_workers``
+        gates the next spawn), so the schedule is reproducible: the
+        s27 row lands on the crasher, the s298 row on the partitioned
+        seat, and the requeues flow through the corrupt-then-rejoining
+        and healthy seats.
+        """
+        clean = render_table_4_3(run_table_4_3(jobs=1, **TINY_43))
+        obs.enable()
+        ex = RemoteExecutor(
+            listen=("127.0.0.1", 0),
+            policy=CHAOS_POLICY,
+            heartbeat_s=0.3,
+            heartbeat_misses=3,
+        )
+        port = ex.address[1]
+        procs = []
+        try:
+            procs.append(_spawn_worker(port, fault="runner.task:s27:crash_once"))
+            ex.wait_for_workers(1, timeout_s=60)
+            procs.append(
+                _spawn_worker(port, fault="net:worker.pong:drop,net:worker.reply:drop")
+            )
+            ex.wait_for_workers(2, timeout_s=60)
+            procs.append(
+                _spawn_worker(
+                    port, fault="net:worker.reply:garbage_once", reconnect=True
+                )
+            )
+            ex.wait_for_workers(3, timeout_s=60)
+            procs.append(_spawn_worker(port))
+            ex.wait_for_workers(4, timeout_s=60)
+
+            chaotic = render_table_4_3(run_table_4_3(executor=ex, **TINY_43))
+            assert chaotic == clean
+
+            # The corrupt-frame worker rejoins with the same worker_id;
+            # the executor stays reusable after the whole chaos schedule.
+            ex.wait_for_workers(2, timeout_s=30)
+            assert run_tasks(_tasks(), executor=ex) == [0, 1, 4, 9]
+        finally:
+            ex.close()
+            _reap(procs)
+        counters = _fleet_counters()
+        assert "runner.task_failures" not in counters  # zero degraded rows
+        assert counters["fleet.workers_connected"] == 4
+        assert counters["runner.worker_crashes"] >= 1  # the killed worker
+        assert counters["fleet.heartbeat_misses"] >= 1  # the partitioned seat
+        assert counters["fleet.corrupt_frames"] >= 1  # the garbage frame
+        assert counters["fleet.seats_rejoined"] >= 1  # the --reconnect worker
+        assert counters["fleet.requeues"] >= 3
+        report = obs.render_report(obs.registry())
+        assert "fleet supervision" in report
+
+
+class TestPartitionDetection:
+    def test_heartbeat_drops_partitioned_seat_before_task_deadline(self):
+        """The timed acceptance test: detection must beat ``timeout_s``.
+
+        The partitioned worker runs in-process (its pongs and replies
+        are dropped by ``net:`` faults armed in this process; the
+        coordinator's sends are labelled ``coordinator.*`` and pass),
+        the healthy worker is a real subprocess.  With a 30s task
+        deadline and a 0.6s miss window, completion in a few seconds
+        proves the partition sweep -- not the deadline sweep -- freed
+        the task.
+        """
+        faultpoints.install("net:worker.pong:drop,net:worker.reply:drop")
+        obs.enable()
+        # collect=False: the in-process worker thread must never reset
+        # the shared obs registry from attempt_reply.
+        ex = RemoteExecutor(
+            listen=("127.0.0.1", 0),
+            collect=False,
+            heartbeat_s=0.2,
+            heartbeat_misses=3,
+        )
+        thread = threading.Thread(
+            target=worker_loop, args=(ex.address,), daemon=True
+        )
+        thread.start()
+        procs = []
+        try:
+            ex.wait_for_workers(1, timeout_s=10)  # partitioned seat first
+            procs.append(_spawn_worker(ex.address[1]))
+            ex.wait_for_workers(2, timeout_s=60)
+            for task in _tasks(timeout_s=30.0):
+                ex.submit(task)
+            t0 = time.monotonic()
+            results = ex.drain()
+            elapsed = time.monotonic() - t0
+        finally:
+            ex.close()
+            _reap(procs)
+            thread.join(timeout=10)
+        assert results == [0, 1, 4, 9]
+        assert elapsed < 10.0, f"partition detection took {elapsed:.1f}s"
+        counters = _fleet_counters()
+        assert counters["fleet.heartbeat_misses"] >= 1
+        assert counters["fleet.requeues"] >= 1
+        assert "runner.timeouts" not in counters  # heartbeat won, not deadline
+
+    def test_trickling_peer_dropped_by_recv_timeout(self):
+        """A peer dribbling one byte at a time cannot block drain."""
+        obs.enable()
+        ex = RemoteExecutor(
+            listen=("127.0.0.1", 0),
+            heartbeat_s=0.3,
+            heartbeat_misses=3,
+            recv_timeout_s=0.4,
+        )
+        procs = []
+        try:
+            procs.append(_spawn_worker(ex.address[1], fault="net:worker.reply:trickle"))
+            ex.wait_for_workers(1, timeout_s=60)  # trickler seated first
+            procs.append(_spawn_worker(ex.address[1]))
+            ex.wait_for_workers(2, timeout_s=60)
+            for task in _tasks(timeout_s=60.0):
+                ex.submit(task)
+            t0 = time.monotonic()
+            results = ex.drain()
+            elapsed = time.monotonic() - t0
+        finally:
+            ex.close()
+            _reap(procs)
+        assert results == [0, 1, 4, 9]
+        assert elapsed < 20.0, f"trickle stalled drain for {elapsed:.1f}s"
+        assert _fleet_counters()["fleet.stalled_recvs"] >= 1
+
+
+class TestAcceptHardening:
+    def test_garbage_and_silent_peers_rejected_not_crashed(self):
+        obs.enable()
+        ex = RemoteExecutor(
+            listen=("127.0.0.1", 0), collect=False, recv_timeout_s=0.5
+        )
+        thread = None
+        try:
+            garbage = socket.create_connection(ex.address)
+            garbage.sendall(b"\x00\x00\x00\x04junk")
+            silent = socket.create_connection(ex.address)
+            # A real worker queued behind both bad peers still seats.
+            thread = threading.Thread(
+                target=worker_loop, args=(ex.address,), daemon=True
+            )
+            thread.start()
+            ex.wait_for_workers(1, timeout_s=20)
+            garbage.close()
+            silent.close()
+            for task in _tasks():
+                ex.submit(task)
+            assert ex.drain() == [0, 1, 4, 9]
+        finally:
+            ex.close()
+            if thread is not None:
+                thread.join(timeout=10)
+        assert _fleet_counters()["fleet.rejected_peers"] == 2
+
+    def test_wrong_protocol_version_peer_rejected_with_reason(self):
+        from multiprocessing.connection import Client
+
+        from repro.exec.remote import _resolve_authkey
+
+        obs.enable()
+        ex = RemoteExecutor(listen=("127.0.0.1", 0), collect=False)
+        thread = None
+        try:
+            conn = Client(ex.address, authkey=_resolve_authkey(None))
+            conn.send(
+                ("hello", {"pid": 1, "host": "x", "proto": 1, "worker_id": "old"})
+            )
+            verdict = conn.recv()
+            conn.close()
+            assert verdict[0] == "reject"
+            assert str(PROTO_VERSION) in verdict[1]
+            thread = threading.Thread(
+                target=worker_loop, args=(ex.address,), daemon=True
+            )
+            thread.start()
+            ex.wait_for_workers(1, timeout_s=20)
+            ex.submit(_tasks(1)[0])
+            assert ex.drain() == [0]
+        finally:
+            ex.close()
+            if thread is not None:
+                thread.join(timeout=10)
+        assert _fleet_counters()["fleet.rejected_peers"] == 1
+
+
+class TestWorkerDiagnostics:
+    def test_unreachable_coordinator_exits_2_with_errno_line(self, capsys):
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            dead_port = probe.getsockname()[1]
+        rc = worker_loop(("127.0.0.1", dead_port), connect_timeout_s=0.5, poll_s=0.1)
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1  # one-line diagnostic, no traceback
+        assert f"127.0.0.1:{dead_port}" in err
+        assert "Errno" in err
+
+    def test_wrong_authkey_exits_2_with_auth_message(self, capsys):
+        ex = RemoteExecutor(listen=("127.0.0.1", 0), collect=False)
+        try:
+            rc = worker_loop(ex.address, authkey=b"not-the-key", connect_timeout_s=10)
+        finally:
+            ex.close()
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "authentication failed" in err
+        assert "REPRO_EXEC_AUTHKEY" in err
+        assert "Traceback" not in err
+
+
+class TestShutdownRobustness:
+    def test_raising_drain_still_closes_listener_and_accept_thread(self):
+        ex = RemoteExecutor(listen=("127.0.0.1", 0), collect=False)
+        port = ex.address[1]
+        thread = threading.Thread(target=worker_loop, args=(ex.address,), daemon=True)
+        thread.start()
+        try:
+            ex.wait_for_workers(1, timeout_s=10)
+            ex.submit(_tasks(1)[0])
+
+            def journal_write_fails(slot, outcome, snapshot):
+                raise RuntimeError("disk full")
+
+            with pytest.raises(RuntimeError, match="disk full"):
+                ex.drain(journal_write_fails)
+            ex._accept_thread.join(timeout=5)
+            assert not ex._accept_thread.is_alive()
+            with pytest.raises(OSError):
+                socket.create_connection(("127.0.0.1", port), timeout=1)
+        finally:
+            ex.close()
+            thread.join(timeout=10)
+
+
+class TestFallbackExecutor:
+    def _args(self, **overrides):
+        base = dict(
+            executor="remote",
+            listen="127.0.0.1:0",
+            min_workers=1,
+            worker_wait=0.3,
+            fallback_executor="pool",
+            retries=None,
+            timeout=None,
+        )
+        base.update(overrides)
+        return Namespace(**base)
+
+    def test_falls_back_to_local_backend_when_fleet_never_forms(self, capsys):
+        from repro.cli import _build_executor
+
+        ex = _build_executor(self._args(), jobs=2)
+        try:
+            assert ex.kind == "pool"
+        finally:
+            ex.close()
+        err = capsys.readouterr().err
+        assert "falling back" in err
+
+    def test_without_fallback_the_timeout_still_propagates(self):
+        from repro.cli import _build_executor
+
+        with pytest.raises(TimeoutError):
+            _build_executor(self._args(fallback_executor=None), jobs=2)
+
+    def test_validation_rejects_bad_fallback_combinations(self):
+        from repro.cli import _validate_dispatch
+
+        assert _validate_dispatch(self._args()) is None
+        problem = _validate_dispatch(self._args(fallback_executor="remote"))
+        assert problem is not None and "local backend" in problem
+        problem = _validate_dispatch(self._args(fallback_executor="bogus"))
+        assert problem is not None and "bogus" in problem
+        problem = _validate_dispatch(
+            self._args(executor="pool", fallback_executor="pool")
+        )
+        assert problem is not None and "--executor remote" in problem

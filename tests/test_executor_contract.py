@@ -325,3 +325,32 @@ class TestCrossBackendResume:
         # journal, so the resumed run dispatches nothing.
         assert counters["runner.tasks_resumed"] == len(TINY_43["targets"])
         assert "runner.tasks_completed" not in counters
+
+    def test_coordinator_crash_midway_resumes_on_other_backend(self, tmp_path):
+        """Kill the coordinator mid-campaign; finish elsewhere, byte-identical.
+
+        A remote campaign journals its rows; a coordinator crash is
+        simulated by tearing the journal down to the header, one
+        complete row, and a half-written second row (the write the
+        crash interrupted).  ``--resume`` on a *different* backend must
+        replay the intact row, discard the torn line, recompute the
+        rest, and render byte-identically.
+        """
+        journal = tmp_path / "campaign.jsonl"
+        with executor_for("remote", policy=FAST) as ex:
+            first = run_table_4_3(
+                checkpoint_path=str(journal), executor=ex, **TINY_43
+            )
+        lines = journal.read_text().splitlines()
+        assert len(lines) == 1 + len(TINY_43["targets"])  # header + rows
+        torn = "\n".join(lines[:2]) + "\n" + lines[2][: len(lines[2]) // 2]
+        journal.write_text(torn)
+        obs.enable()
+        with executor_for("inprocess", policy=FAST) as ex:
+            resumed = run_table_4_3(
+                checkpoint_path=str(journal), resume=True, executor=ex, **TINY_43
+            )
+        assert render_table_4_3(resumed) == render_table_4_3(first)
+        counters = obs.registry().counters
+        assert counters["runner.tasks_resumed"] == 1  # the intact row
+        assert counters["runner.tasks_completed"] == 1  # the recomputed row

@@ -117,6 +117,114 @@ class TestFaultpoints:
         )
 
 
+class TestNetFaults:
+    def test_parse_accepts_every_net_mode(self):
+        for mode in sorted(faultpoints.NET_MODES):
+            for suffix in ("", "_once"):
+                specs = faultpoints.parse(f"net:worker.reply:{mode}{suffix}")
+                assert specs == [
+                    FaultSpec(point="net", key="worker.reply", mode=f"{mode}{suffix}")
+                ]
+
+    def test_parse_rejects_unknown_net_mode(self):
+        with pytest.raises(ValueError, match="sever"):
+            faultpoints.parse("net:worker.reply:sever")
+
+    def test_check_never_fires_net_modes(self):
+        faultpoints.install("net:key:drop,net:key:garbage")
+        faultpoints.check("net", "task/key", 0)  # no raise, no exit
+
+    def test_net_action_matches_by_label_substring(self):
+        faultpoints.install("net:worker.pong:drop")
+        assert faultpoints.net_action("worker.pong") == "drop"
+        assert faultpoints.net_action("worker.reply") is None
+        assert faultpoints.net_action("coordinator.task") is None
+
+    def test_net_action_once_fires_on_first_matching_frame_only(self):
+        faultpoints.install("net:worker.reply:garbage_once")
+        assert faultpoints.net_action("worker.reply") == "garbage"
+        assert faultpoints.net_action("worker.reply") is None
+        faultpoints.install("net:worker.reply:garbage_once")  # re-arm resets
+        assert faultpoints.net_action("worker.reply") == "garbage"
+
+    def _pipe_pair(self, role="worker"):
+        import multiprocessing
+
+        a, b = multiprocessing.Pipe()
+        return faultpoints.ChaosConnection(a, role=role), b
+
+    def test_clean_send_and_tag_labels(self):
+        conn, peer = self._pipe_pair()
+        try:
+            conn.send(("reply", 1, 0, ("payload",)))
+            conn.send(None)
+            assert peer.recv() == ("reply", 1, 0, ("payload",))
+            assert peer.recv() is None
+        finally:
+            conn.close()
+            peer.close()
+
+    def test_drop_swallows_only_matching_frames(self):
+        faultpoints.install("net:worker.pong:drop")
+        conn, peer = self._pipe_pair()
+        try:
+            conn.send(("pong", 1))
+            conn.send(("reply", 1, 0, ("ok",)))
+            assert peer.recv() == ("reply", 1, 0, ("ok",))
+            assert not peer.poll(0.05)
+        finally:
+            conn.close()
+            peer.close()
+
+    def test_dup_delivers_twice(self):
+        faultpoints.install("net:worker.reply:dup")
+        conn, peer = self._pipe_pair()
+        try:
+            conn.send(("reply", 1, 0, ("ok",)))
+            assert peer.recv() == ("reply", 1, 0, ("ok",))
+            assert peer.recv() == ("reply", 1, 0, ("ok",))
+        finally:
+            conn.close()
+            peer.close()
+
+    @pytest.mark.parametrize("mode", ["garbage", "truncate"])
+    def test_corrupt_modes_break_unpickling_deterministically(self, mode):
+        import pickle
+
+        faultpoints.install(f"net:worker.reply:{mode}")
+        conn, peer = self._pipe_pair()
+        frames = []
+        try:
+            conn.send(("reply", 1, 0, ("ok",)))
+            frames.append(peer.recv_bytes())
+            with pytest.raises(Exception):
+                pickle.loads(frames[0])
+        finally:
+            conn.close()
+            peer.close()
+        # Seeded: a re-armed connection corrupts the same frame the same way.
+        faultpoints.install(f"net:worker.reply:{mode}")
+        conn, peer = self._pipe_pair()
+        try:
+            conn.send(("reply", 1, 0, ("ok",)))
+            assert peer.recv_bytes() == frames[0]
+        finally:
+            conn.close()
+            peer.close()
+
+    def test_delay_still_delivers(self):
+        faultpoints.install("net:worker.reply:delay_once")
+        conn, peer = self._pipe_pair()
+        try:
+            t0 = time.monotonic()
+            conn.send(("reply", 1, 0, ("ok",)))
+            assert peer.recv() == ("reply", 1, 0, ("ok",))
+            assert time.monotonic() - t0 >= faultpoints.NET_DELAY_S
+        finally:
+            conn.close()
+            peer.close()
+
+
 class TestFingerprint:
     def test_stable_across_dict_ordering(self):
         a = fingerprint_of({"targets": ("s27",), "config": {"x": 1, "y": 2}})
