@@ -5,6 +5,7 @@ One :class:`ArtifactCache` manages a directory tree of pickled artifacts::
     <root>/compiled/<key>.pkl   # CompiledCircuit lowering (schedule arrays)
     <root>/kernel/<key>.pkl     # word-kernel source + marshalled code object
     <root>/faults/<key>.pkl     # collapsed transition-fault list
+    <root>/results/<key>.pkl    # rendered campaign results (service layer)
 
 ``<key>`` is :func:`circuit_key`: a SHA-256 over the circuit's ``.bench``
 serialization plus :func:`code_fingerprint` (a digest of the sources that
@@ -60,7 +61,11 @@ from repro import obs
 ARTIFACT_SCHEMA = 1
 
 #: Artifact kinds, in the order ``repro-eda cache stats`` reports them.
-KINDS = ("compiled", "kernel", "faults")
+#: The first three are keyed by :func:`circuit_key`; ``results`` entries
+#: are keyed by the service layer's campaign content address
+#: (:meth:`repro.service.spec.CampaignSpec.result_key`), which folds in
+#: :func:`repro.expdb.code_hash` for the same staleness guarantee.
+KINDS = ("compiled", "kernel", "faults", "results")
 
 #: Sources folded into every cache key: the artifact producers/consumers.
 _FINGERPRINT_MODULES = (
@@ -208,6 +213,27 @@ class ArtifactCache:
                 "faults": [(f.line, f.direction) for f in faults],
             },
         )
+
+    def load_result(self, key: str) -> str | None:
+        """A cached rendered campaign result, or ``None``.
+
+        ``key`` is the service layer's content address over the campaign
+        spec + :func:`repro.expdb.code_hash` -- the caller computes it,
+        this store just honors the usual corruption/atomicity contract.
+        """
+        payload = self._read("results", key)
+        text = None
+        if payload is not None:
+            text = payload.get("text")
+            if not isinstance(text, str):
+                self._drop("results", key)
+                text = None
+        self._tally(text is not None)
+        return text
+
+    def store_result(self, key: str, text: str) -> None:
+        """Persist one rendered campaign result under its content address."""
+        self._write("results", key, {"schema": ARTIFACT_SCHEMA, "text": text})
 
     # ------------------------------------------------------------------
     # Maintenance (the ``repro-eda cache`` subcommands)

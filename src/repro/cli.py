@@ -9,6 +9,7 @@ Subcommands mirror the paper's three methods plus utilities::
     repro-eda select-paths s298 --n 6       # Chapter 3 procedure
     repro-eda table 4.3                     # regenerate a paper table
     repro-eda worker --connect host:7341    # serve a remote campaign
+    repro-eda serve --port 8341             # campaign service (HTTP job API)
     repro-eda stats trace.jsonl             # re-render a saved trace
     repro-eda db runs --db exp.db           # browse the experiment history
 
@@ -68,6 +69,16 @@ histogram summaries -- to a sqlite experiment database.  ``repro-eda db
 checks bench samples against the rolling median of the last N recorded
 batches instead of static floors, and ``repro-eda stats --db PATH``
 re-renders any stored run report.  Recording never changes results.
+
+Campaign service (see :mod:`repro.service`): ``repro-eda serve`` runs
+the HTTP job API (``docs/SERVICE.md``) -- submit generate/table
+campaigns as jobs on a bounded priority queue drained onto any
+``--executor`` backend, stream per-row progress as NDJSON, and read
+results byte-identical to the equivalent CLI invocation.
+``--cache-dir`` content-addresses results so identical resubmits return
+instantly; ``--db`` records each job as a normal experiment run (argv
+``service:<job-id>``); ``--rate``/``--burst`` and ``--max-client-jobs``
+bound each client; ``--queue-limit`` bounds the queue itself.
 
 All output is plain text; every command is deterministic for fixed seeds.
 """
@@ -389,86 +400,50 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _run_generate(args: argparse.Namespace, executor=None) -> int:
-    """Body of ``repro-eda generate`` once dispatch knobs are resolved."""
+    """Body of ``repro-eda generate`` once dispatch knobs are resolved.
+
+    The execution itself lives in :func:`repro.service.campaigns.
+    run_generate` -- shared with the job service so an HTTP-submitted
+    ``generate`` campaign can never drift from this command; the CLI
+    contributes only the printing and the ``--hold`` extension.
+    """
     from repro.circuits.benchmarks import get_circuit
-    from repro.core.builtin_gen import BuiltinGenConfig, BuiltinGenerator
-    from repro.core.embedded import compose, compose_with_buffers, estimate_swa_func
+    from repro.core.builtin_gen import BuiltinGenConfig
     from repro.core.state_holding import run_with_state_holding
-    from repro.faults.collapse import collapsed_transition_faults
+    from repro.service.campaigns import run_generate
 
-    target = get_circuit(args.circuit)
-    faults = collapsed_transition_faults(target)
-    config = BuiltinGenConfig(
-        segment_length=args.length,
+    outcome = run_generate(
+        args.circuit,
+        driver=args.driver,
+        length=args.length,
         time_limit=args.time_limit,
-        rng_seed=args.seed,
-        grade_shards=args.shards,
+        seed=args.seed,
+        shards=args.shards,
         lanes=args.lanes,
+        executor=executor,
+        hold=args.hold,
+        tree_height=args.tree_height,
     )
-    swa_func = None
-    if args.driver:
-        if args.driver == "buffers":
-            design = compose_with_buffers(target)
-        else:
-            design = compose(get_circuit(args.driver), target)
-        swa_func = estimate_swa_func(design, n_sequences=16, length=120).swa_func
-        print(f"SWA_func under {args.driver}: {swa_func:.2f}%")
-    result = BuiltinGenerator(
-        target, faults, swa_func, config=config, grading_executor=executor
-    ).run()
-    from repro import expdb
-    from repro.resilience.checkpoint import fingerprint_of
-
-    db = expdb.active()
-    run_id = expdb.current_run()
-    if db is not None and run_id is not None:
-        db.annotate_run(
-            run_id,
-            fingerprint=fingerprint_of(
-                {
-                    "generate": args.circuit,
-                    "driver": args.driver,
-                    "length": args.length,
-                    "time_limit": args.time_limit,
-                    "seed": args.seed,
-                    "hold": bool(args.hold),
-                    "tree_height": args.tree_height,
-                }
-            ),
-        )
-        db.record_row(
-            run_id,
-            f"generate/{args.circuit}",
-            0,
-            {
-                "circuit": args.circuit,
-                "driver": args.driver,
-                "n_multi": result.n_multi,
-                "n_seg_max": result.n_seg_max,
-                "l_max": result.l_max,
-                "n_seeds": result.n_seeds,
-                "n_tests": result.n_tests,
-                "peak_swa": round(result.peak_swa, 4),
-                "coverage": round(result.coverage, 4),
-                "area_total": round(result.area.total, 2),
-                "area_overhead_percent": round(result.area.overhead_percent, 4),
-            },
-        )
-    print(
-        f"Nmulti={result.n_multi} Nsegmax={result.n_seg_max} Lmax={result.l_max} "
-        f"Nseeds={result.n_seeds} Ntests={result.n_tests}"
-    )
-    print(f"peak SWA {result.peak_swa:.2f}%  FC {result.coverage:.2f}%")
-    print(
-        f"hardware {result.area.total:.0f} um^2 "
-        f"({result.area.overhead_percent:.2f}% overhead)"
-    )
+    for line in outcome.lines:
+        print(line)
     if args.hold:
-        remaining = [f for f in faults if f not in result.detected]
-        holding = run_with_state_holding(
-            target, remaining, swa_func, tree_height=args.tree_height, config=config
+        result = outcome.result
+        config = BuiltinGenConfig(
+            segment_length=args.length,
+            time_limit=args.time_limit,
+            rng_seed=args.seed,
+            grade_shards=args.shards,
+            lanes=args.lanes,
         )
-        improvement = 100.0 * len(holding.newly_detected) / len(faults)
+        remaining = [f for f in outcome.faults if f not in result.detected]
+        holding = run_with_state_holding(
+            get_circuit(args.circuit),
+            remaining,
+            outcome.swa_func,
+            tree_height=args.tree_height,
+            config=config,
+        )
+        improvement = 100.0 * len(holding.newly_detected) / len(outcome.faults)
         print(
             f"state holding: {holding.selection.n_sets} sets "
             f"({holding.selection.n_bits} bits), +{improvement:.2f}% FC "
@@ -700,6 +675,72 @@ def _cmd_worker(args: argparse.Namespace) -> int:
         reconnect=args.reconnect,
         max_reconnects=args.max_reconnects,
     )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Body of ``repro-eda serve``: run the campaign service until ^C."""
+    import os
+    import time
+
+    from repro import expdb
+    from repro.service import CampaignService, JobManager, RateLimiter
+
+    _obs_setup(args)
+    _cache_setup(args)
+    problem = _validate_dispatch(args)
+    if problem is not None:
+        print(f"error: {problem}", file=sys.stderr)
+        return 2
+    _kernel_setup(args)
+    db_path = args.db or os.environ.get(expdb.ENV_VAR)
+    if db_path:
+        # Exported so pool/remote workers inherit it; the service's own
+        # connection is opened on its runner thread, never here (sqlite
+        # connections are thread-affine).
+        os.environ[expdb.ENV_VAR] = str(db_path)
+    executor = None
+    try:
+        if args.executor:
+            try:
+                executor = _build_executor(args, jobs=args.jobs)
+            except ValueError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            except TimeoutError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 1
+        manager = JobManager(
+            executor=executor,
+            executor_kind=executor.kind if executor is not None else "inprocess",
+            queue_limit=args.queue_limit,
+            max_client_jobs=args.max_client_jobs,
+            db_path=db_path,
+        )
+        service = CampaignService(
+            manager,
+            limiter=RateLimiter(args.rate, args.burst),
+            host=args.host,
+            port=args.port,
+        )
+        host, port = service.start()
+        print(
+            f"campaign service listening on http://{host}:{port} "
+            f"(submit jobs with `curl -s http://{host}:{port}/v1/jobs "
+            "-d '{\"kind\": \"table\", \"table\": \"4.3\"}'`)",
+            file=sys.stderr,
+            flush=True,
+        )
+        try:
+            while True:
+                time.sleep(3600)
+        except KeyboardInterrupt:
+            print("shutting down", file=sys.stderr, flush=True)
+        service.close()
+        return 0
+    finally:
+        if executor is not None:
+            executor.close()
+        _obs_finish(args)
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
@@ -1173,6 +1214,83 @@ def build_parser() -> argparse.ArgumentParser:
         "(only with --reconnect)",
     )
     p.set_defaults(func=_cmd_worker)
+
+    p = sub.add_parser(
+        "serve", help="run the campaign service (HTTP job API)"
+    )
+    p.add_argument(
+        "--host",
+        default="127.0.0.1",
+        metavar="HOST",
+        help="HTTP bind host (default 127.0.0.1)",
+    )
+    p.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        metavar="N",
+        help="HTTP bind port (0 picks a free port, printed to stderr)",
+    )
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for --executor pool",
+    )
+    p.add_argument(
+        "--queue-limit",
+        type=int,
+        default=64,
+        metavar="N",
+        help="bounded job-queue capacity; submissions beyond it get 503",
+    )
+    p.add_argument(
+        "--max-client-jobs",
+        type=int,
+        default=8,
+        metavar="N",
+        help="per-client quota of queued-or-running jobs; beyond it 409",
+    )
+    p.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        metavar="PER_SECOND",
+        help="per-client submission rate limit (token bucket; beyond it "
+        "429 with Retry-After; default: unlimited)",
+    )
+    p.add_argument(
+        "--burst",
+        type=float,
+        default=None,
+        metavar="N",
+        help="token-bucket burst capacity (default: max(1, --rate))",
+    )
+    p.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="content-address campaign results (and warm-start artifacts) "
+        "under DIR (same as REPRO_CACHE_DIR); identical resubmits are "
+        "then served without re-executing",
+    )
+    p.add_argument(
+        "--db",
+        metavar="PATH",
+        help="record completed jobs in the experiment database at PATH "
+        "(same as REPRO_DB)",
+    )
+    p.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the observability run report on shutdown",
+    )
+    p.add_argument(
+        "--trace", metavar="FILE", help="write the span trace as JSONL to FILE"
+    )
+    _add_executor_args(p)
+    _add_kernel_args(p)
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
         "stats", help="re-render a saved trace file or a stored run report"

@@ -57,6 +57,7 @@ SECTIONS: tuple[tuple[str, str], ...] = (
     ("experiment runner", "runner."),
     ("execution plane", "executor."),
     ("fleet supervision", "fleet."),
+    ("campaign service", "service."),
 )
 
 

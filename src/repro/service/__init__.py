@@ -1,0 +1,50 @@
+"""``repro.service`` -- the campaign service layer: an HTTP job API.
+
+This package turns the library into a system: ``repro-eda serve`` exposes
+campaign submission over a hand-rolled asyncio HTTP/1.1 API (no
+frameworks, no new dependencies), draining a bounded priority queue of
+jobs onto the same :class:`repro.exec.base.Executor` seam the CLI uses
+-- in-process, local pool, or the supervised remote worker fleet, all
+byte-identical.  Results are content-addressed through
+:mod:`repro.cache` (an identical campaign resubmitted returns
+instantly), completed jobs are recorded in :mod:`repro.expdb`, and
+per-client token buckets plus concurrent-job quotas cover the
+multi-tenant edge.
+
+Layering (see ARCHITECTURE.md):
+
+* :mod:`repro.service.spec` -- request validation + canonical campaign
+  specs (fingerprints, content addresses);
+* :mod:`repro.service.campaigns` -- the execution bodies shared with the
+  CLI, so HTTP-submitted and CLI-run campaigns can never drift;
+* :mod:`repro.service.jobs` -- :class:`Job` lifecycle + the
+  :class:`JobManager` priority queue and runner thread;
+* :mod:`repro.service.ratelimit` -- per-client token buckets;
+* :mod:`repro.service.http` -- minimal asyncio HTTP/1.1 framing;
+* :mod:`repro.service.app` -- the documented route registry
+  (:data:`repro.service.app.ROUTES`, rendered into ``docs/SERVICE.md``)
+  and the :class:`CampaignService` application.
+"""
+
+from __future__ import annotations
+
+from .app import ROUTES, CampaignService
+from .jobs import Job, JobManager, QueueFull, QuotaExceeded, ServiceClosed
+from .ratelimit import RateLimiter, TokenBucket
+from .spec import CampaignSpec, SpecError, parse_request, parse_spec
+
+__all__ = [
+    "ROUTES",
+    "CampaignService",
+    "CampaignSpec",
+    "Job",
+    "JobManager",
+    "QueueFull",
+    "QuotaExceeded",
+    "RateLimiter",
+    "ServiceClosed",
+    "SpecError",
+    "TokenBucket",
+    "parse_request",
+    "parse_spec",
+]

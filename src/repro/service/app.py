@@ -1,0 +1,438 @@
+"""The campaign service application: route registry + request handling.
+
+Two things live here, deliberately together so they cannot drift:
+
+* :data:`ROUTES` -- the declarative registry of every endpoint the
+  service exposes (method, path, request/response fields, error codes).
+  ``scripts/gen_service_docs.py`` renders ``docs/SERVICE.md`` from this
+  table and a drift test pins the rendered file to it, so changing the
+  HTTP surface without regenerating the docs fails CI.
+* :class:`CampaignService` -- the asyncio application implementing
+  exactly those routes over :class:`repro.service.http.HttpServer`,
+  delegating all job mechanics to :class:`repro.service.jobs.JobManager`
+  and admission control to :class:`repro.service.ratelimit.RateLimiter`.
+
+The service runs its event loop on a background thread
+(:meth:`CampaignService.start` returns the bound address), which is what
+both ``repro-eda serve`` and the test suite use; campaign execution
+itself stays on the manager's runner thread, so the loop only ever does
+parsing, queueing, and streaming.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, AsyncIterator, Mapping
+
+from repro import obs
+
+from .http import HttpServer, Request, Response, StreamResponse
+from .jobs import JobManager, QueueFull, QuotaExceeded, ServiceClosed
+from .ratelimit import RateLimiter
+from .spec import SpecError, parse_request
+
+#: How often the events stream re-checks a job for fresh rows (seconds).
+EVENT_POLL_S = 0.05
+
+
+@dataclass(frozen=True)
+class Field:
+    """One documented request or response field."""
+
+    name: str
+    type: str
+    description: str
+
+
+@dataclass(frozen=True)
+class Route:
+    """One documented endpoint: the unit the docs generator renders."""
+
+    name: str  # dispatch key: CampaignService._handle_<name>
+    method: str
+    path: str
+    summary: str
+    description: str
+    status: int  # success status code
+    content_type: str = "application/json"
+    request: tuple[Field, ...] = ()
+    response: tuple[Field, ...] = ()
+    errors: Mapping[int, str] = field(default_factory=dict)
+
+
+#: Fields of a job status document, shared by submit/status responses.
+JOB_FIELDS = (
+    Field("id", "string", "Job id, e.g. `j1`."),
+    Field("state", "string", "`queued`, `running`, `done`, `degraded`, or `failed`."),
+    Field("kind", "string", "Campaign kind: `generate` or `table`."),
+    Field("label", "string", "Campaign label: the circuit name or table number."),
+    Field("priority", "int", "Submission priority (higher drains first)."),
+    Field("client", "string", "Client id the job was submitted under."),
+    Field("fingerprint", "string", "Campaign-parameter fingerprint (16 hex chars)."),
+    Field("cached", "bool", "Whether the result was served from the content-addressed cache."),
+    Field("submitted_utc", "string", "Submission timestamp (UTC ISO-8601)."),
+    Field("started_utc", "string|null", "Execution start timestamp, once running."),
+    Field("finished_utc", "string|null", "Completion timestamp, once terminal."),
+    Field("elapsed_s", "number|null", "Execution wall-clock seconds, once terminal."),
+    Field("rows_done", "int", "Campaign rows completed so far."),
+    Field("rows_total", "int|null", "Total rows, when knowable up front (Table 4.4 is not)."),
+    Field(
+        "failures",
+        "array",
+        "Typed per-row failures (`key`, `kind`, `message`, `attempts`, `elapsed_s`) "
+        "for degraded campaigns; the taxonomy of `repro.resilience.TaskFailure` "
+        "(`crash` / `timeout` / `error` / `partition`).",
+    ),
+    Field("error", "object|null", "Whole-campaign failure (`kind`, `message`) when `state` is `failed`."),
+)
+
+#: The full route registry -- the single source of truth for docs + dispatch.
+ROUTES: tuple[Route, ...] = (
+    Route(
+        name="submit",
+        method="POST",
+        path="/v1/jobs",
+        summary="Submit a campaign job",
+        description=(
+            "Validates the JSON campaign spec, applies rate limiting and the "
+            "per-client quota, then either serves the result instantly from the "
+            "content-addressed cache or enqueues the job on the bounded priority "
+            "queue. The response is the job's status document; poll "
+            "`GET /v1/jobs/{id}` or stream `GET /v1/jobs/{id}/events` from there. "
+            "Clients identify themselves with an `X-Client` header (falling back "
+            "to the peer address)."
+        ),
+        status=202,
+        request=(
+            Field("kind", "string", "`generate` or `table` (required)."),
+            Field("circuit", "string", "Target circuit for `generate` (required for that kind)."),
+            Field("driver", "string|null", "Driving block for `generate`: a benchmark name or `buffers`."),
+            Field("length", "int", "`generate` segment length (default 200)."),
+            Field("time_limit", "number|null", "`generate` per-campaign time limit in seconds (default 30)."),
+            Field("table", "string", "`4.3` or `4.4` for `table` (required for that kind)."),
+            Field("targets", "array[string]", "`table` target circuits (default s27, s298)."),
+            Field("drivers", "array[string]", "`table` driving blocks (default s344, s953)."),
+            Field("segment_length", "int", "`table` segment length (default 120)."),
+            Field("seed", "int", "RNG seed (default 1)."),
+            Field("q_limit", "int", "`table` q_limit (default 5)."),
+            Field("r_limit", "int", "`table` r_limit (default 3)."),
+            Field("max_sequences", "int", "`table` max sequences (default 200)."),
+            Field("n_sequences", "int", "`table` SWA_func estimation sequences (default 16)."),
+            Field("func_length", "int", "`table` SWA_func estimation length (default 120)."),
+            Field("priority", "int", "Queue priority in [-100, 100], higher first (default 0)."),
+        ),
+        response=JOB_FIELDS,
+        errors={
+            400: "Malformed JSON body or invalid campaign spec (the body names the offending field).",
+            409: "Client is over its concurrent-job quota.",
+            429: "Client is over its submission rate (see `Retry-After`).",
+            503: "Job queue is full, or the service is shutting down.",
+        },
+    ),
+    Route(
+        name="status",
+        method="GET",
+        path="/v1/jobs/{id}",
+        summary="Job status",
+        description=(
+            "The job's current status document, including per-row progress "
+            "counts, the typed failure taxonomy for degraded campaigns, and "
+            "cache provenance."
+        ),
+        status=200,
+        response=JOB_FIELDS,
+        errors={404: "No such job id."},
+    ),
+    Route(
+        name="events",
+        method="GET",
+        path="/v1/jobs/{id}/events",
+        summary="Stream job events (NDJSON)",
+        description=(
+            "Streams the job's event log as newline-delimited JSON, one object "
+            "per line, live until the job reaches a terminal state; the stream "
+            "then ends (connection close). Replays from the beginning, so "
+            "connecting after completion yields the full history. Events: "
+            "`queued`, `cache_hit`, `started`, `row` (one per completed "
+            "campaign row, with `index` and `key`), then `done`, `degraded`, "
+            "or `failed`."
+        ),
+        status=200,
+        content_type="application/x-ndjson",
+        response=(
+            Field("seq", "int", "Monotonic event sequence number within the job."),
+            Field("job", "string", "Job id."),
+            Field("event", "string", "Event name (see description)."),
+        ),
+        errors={404: "No such job id."},
+    ),
+    Route(
+        name="result",
+        method="GET",
+        path="/v1/jobs/{id}/result",
+        summary="Job result (rendered campaign text)",
+        description=(
+            "The campaign's rendered output -- byte-identical to what the "
+            "equivalent `repro-eda` invocation prints to stdout. Available for "
+            "`done` and `degraded` jobs (degraded tables render failed rows as "
+            "dashes, exactly like the CLI)."
+        ),
+        status=200,
+        content_type="text/plain",
+        errors={
+            404: "No such job id.",
+            409: "Job has not finished yet (still queued or running).",
+            410: "Job failed outright; there is no result (see the status document's `error`).",
+        },
+    ),
+    Route(
+        name="health",
+        method="GET",
+        path="/v1/health",
+        summary="Liveness + queue depth",
+        description="Cheap liveness probe: executor kind, queue depth, and per-state job counts.",
+        status=200,
+        response=(
+            Field("status", "string", "Always `ok` when the service can answer."),
+            Field("executor", "string", "Executor backend draining the queue."),
+            Field("queue_depth", "int", "Jobs currently queued."),
+            Field("jobs", "object", "Job counts keyed by state."),
+        ),
+    ),
+    Route(
+        name="stats",
+        method="GET",
+        path="/v1/stats",
+        summary="Service counters + observability snapshot",
+        description=(
+            "The manager's event counters (submissions, cache hits, "
+            "completions, rejections) plus, when the service was started with "
+            "observability enabled, the full `service.*` metrics snapshot that "
+            "also renders as the \"campaign service\" section of `--stats` "
+            "reports."
+        ),
+        status=200,
+        response=(
+            Field("executor", "string", "Executor backend draining the queue."),
+            Field("queue_depth", "int", "Jobs currently queued."),
+            Field("queue_limit", "int", "Bounded queue capacity."),
+            Field("max_client_jobs", "int", "Per-client concurrent-job quota."),
+            Field("jobs", "object", "Job counts keyed by state."),
+            Field("counters", "object", "Monotonic service event counters."),
+            Field("metrics", "object|null", "Observability snapshot, when enabled."),
+        ),
+    ),
+)
+
+
+def _match(pattern: str, path: str) -> dict[str, str] | None:
+    """Match ``path`` against a ``/v1/jobs/{id}``-style pattern."""
+    pp = pattern.strip("/").split("/")
+    sp = path.strip("/").split("/")
+    if len(pp) != len(sp):
+        return None
+    params: dict[str, str] = {}
+    for want, got in zip(pp, sp):
+        if want.startswith("{") and want.endswith("}"):
+            if not got:
+                return None
+            params[want[1:-1]] = got
+        elif want != got:
+            return None
+    return params
+
+
+def _json(payload: Any, status: int = 200, headers: Mapping[str, str] | None = None) -> Response:
+    """A JSON response (sorted keys, trailing newline for curl comfort)."""
+    body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+    return Response(status, body, headers=dict(headers or {}))
+
+
+def _error(status: int, message: str, headers: Mapping[str, str] | None = None) -> Response:
+    """A JSON error envelope: ``{"error": {"status": ..., "message": ...}}``."""
+    return _json(
+        {"error": {"status": status, "message": message}},
+        status=status,
+        headers=headers,
+    )
+
+
+class CampaignService:
+    """The HTTP application over a :class:`JobManager` (see module docstring)."""
+
+    def __init__(
+        self,
+        manager: JobManager,
+        limiter: RateLimiter | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        """A service for ``manager``; ``limiter`` of ``None`` disables 429s."""
+        self.manager = manager
+        self.limiter = limiter if limiter is not None else RateLimiter(None)
+        self._server = HttpServer(self.handle, host=host, port=port)
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self.address: tuple[str, int] | None = None
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self) -> tuple[str, int]:
+        """Start the event loop thread, bind, start the runner; returns (host, port)."""
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, name="repro-service-http", daemon=True
+        )
+        self._thread.start()
+        future = asyncio.run_coroutine_threadsafe(self._server.start(), self._loop)
+        self.address = future.result(timeout=30.0)
+        self.manager.start()
+        return self.address
+
+    def close(self) -> None:
+        """Stop the listener, the event loop, and the job runner (idempotent)."""
+        if self._loop is not None:
+            asyncio.run_coroutine_threadsafe(self._server.close(), self._loop).result(
+                timeout=30.0
+            )
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            if self._thread is not None:
+                self._thread.join(timeout=30.0)
+            self._loop.close()
+            self._loop = None
+            self._thread = None
+        self.manager.close()
+
+    # -- dispatch -------------------------------------------------------
+    async def handle(self, request: Request) -> "Response | StreamResponse":
+        """Route one request; unknown paths 404, wrong methods 405."""
+        started = time.monotonic()
+        obs.count("service.http_requests")
+        try:
+            allowed: list[str] = []
+            for route in ROUTES:
+                params = _match(route.path, request.path)
+                if params is None:
+                    continue
+                if route.method != request.method:
+                    allowed.append(route.method)
+                    continue
+                handler = getattr(self, f"_handle_{route.name}")
+                return await handler(request, params)
+            if allowed:
+                return _error(
+                    405,
+                    f"method {request.method} not allowed here",
+                    headers={"Allow": ", ".join(sorted(set(allowed)))},
+                )
+            return _error(404, f"no such endpoint: {request.path}")
+        finally:
+            obs.observe("service.request_ms", (time.monotonic() - started) * 1e3)
+
+    def _client_of(self, request: Request) -> str:
+        """Client identity: the ``X-Client`` header, else the peer host."""
+        header = request.headers.get("x-client")
+        if header:
+            return header
+        return request.peer.rsplit(":", 1)[0]
+
+    # -- handlers (one per ROUTES entry) --------------------------------
+    async def _handle_submit(self, request: Request, params: dict[str, str]) -> Response:
+        """``POST /v1/jobs``: rate-limit, validate, cache-probe, enqueue."""
+        client = self._client_of(request)
+        wait = self.limiter.check(client)
+        if wait > 0:
+            obs.count("service.rate_limited")
+            return _error(
+                429,
+                f"rate limit exceeded for client {client!r}; retry in {wait:.2f}s",
+                headers={"Retry-After": f"{max(1, int(wait + 0.999))}"},
+            )
+        try:
+            payload = json.loads(request.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            return _error(400, f"request body is not valid JSON: {exc}")
+        try:
+            spec, priority = parse_request(payload)
+        except SpecError as exc:
+            return _error(400, str(exc))
+        loop = asyncio.get_running_loop()
+        try:
+            # submit() takes locks and may touch sqlite on a cache hit --
+            # keep it off the event loop.
+            job = await loop.run_in_executor(
+                None, lambda: self.manager.submit(spec, priority=priority, client=client)
+            )
+        except QuotaExceeded as exc:
+            return _error(409, str(exc))
+        except QueueFull as exc:
+            return _error(503, str(exc))
+        except ServiceClosed as exc:
+            return _error(503, str(exc))
+        return _json(job.describe(), status=202)
+
+    async def _handle_status(self, request: Request, params: dict[str, str]) -> Response:
+        """``GET /v1/jobs/{id}``: the status document."""
+        job = self.manager.job(params["id"])
+        if job is None:
+            return _error(404, f"no such job: {params['id']}")
+        return _json(job.describe())
+
+    async def _handle_events(
+        self, request: Request, params: dict[str, str]
+    ) -> "Response | StreamResponse":
+        """``GET /v1/jobs/{id}/events``: live NDJSON event stream."""
+        job = self.manager.job(params["id"])
+        if job is None:
+            return _error(404, f"no such job: {params['id']}")
+
+        async def stream() -> AsyncIterator[bytes]:
+            """Replay the event log, then follow it until the job ends."""
+            seq = 0
+            while True:
+                events, finished = job.events_since(seq)
+                for event in events:
+                    yield (json.dumps(event, sort_keys=True) + "\n").encode("utf-8")
+                seq += len(events)
+                if finished and not events:
+                    return
+                if not events:
+                    await asyncio.sleep(EVENT_POLL_S)
+
+        return StreamResponse(200, stream())
+
+    async def _handle_result(self, request: Request, params: dict[str, str]) -> Response:
+        """``GET /v1/jobs/{id}/result``: the rendered campaign text."""
+        from .jobs import FAILED, TERMINAL_STATES
+
+        job = self.manager.job(params["id"])
+        if job is None:
+            return _error(404, f"no such job: {params['id']}")
+        description = job.describe()
+        if description["state"] == FAILED:
+            return _error(410, f"job {job.id} failed; no result was produced")
+        if description["state"] not in TERMINAL_STATES:
+            return _error(409, f"job {job.id} is {description['state']}; result not ready")
+        text = job.result() or ""
+        return Response(200, text.encode("utf-8"), content_type="text/plain")
+
+    async def _handle_health(self, request: Request, params: dict[str, str]) -> Response:
+        """``GET /v1/health``: liveness + queue depth."""
+        stats = self.manager.stats()
+        return _json(
+            {
+                "status": "ok",
+                "executor": stats["executor"],
+                "queue_depth": stats["queue_depth"],
+                "jobs": stats["jobs"],
+            }
+        )
+
+    async def _handle_stats(self, request: Request, params: dict[str, str]) -> Response:
+        """``GET /v1/stats``: counters plus the obs snapshot when enabled."""
+        stats = self.manager.stats()
+        stats["metrics"] = obs.registry().snapshot() if obs.enabled() else None
+        return _json(stats)

@@ -1,0 +1,228 @@
+"""Minimal asyncio HTTP/1.1 framing: just enough protocol, no frameworks.
+
+The service speaks plain HTTP so that ``curl`` works, but it deliberately
+does **not** use :mod:`http.server` (blocking, thread-per-request) or any
+third-party stack.  Instead this module hand-rolls the tiny slice of
+HTTP/1.1 the job API needs on top of :func:`asyncio.start_server`:
+
+* parse one request per connection (request line, headers, an optional
+  ``Content-Length`` body) with hard size limits;
+* write either a complete :class:`Response` or a :class:`StreamResponse`
+  whose chunks are produced by an async iterator (the NDJSON events
+  feed), terminated by connection close;
+* always answer ``Connection: close`` -- one request per connection
+  keeps the framing trivial and is plenty for a campaign-granularity
+  API.
+
+Malformed requests never raise out of the server: they become plain 400
+responses and the connection closes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import AsyncIterator, Awaitable, Callable, Mapping
+
+#: Hard ceilings keeping a misbehaving client from ballooning memory.
+MAX_REQUEST_LINE = 8192
+MAX_HEADER_BYTES = 65536
+MAX_BODY_BYTES = 1048576
+
+#: Reason phrases for every status the service emits.
+REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    410: "Gone",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class BadRequest(ValueError):
+    """The client sent something that is not a parseable HTTP request."""
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    headers: Mapping[str, str]  # header names lower-cased
+    body: bytes
+    peer: str  # client address, e.g. "127.0.0.1:52114"
+
+
+@dataclass
+class Response:
+    """A complete response: status, body, optional extra headers."""
+
+    status: int
+    body: bytes = b""
+    content_type: str = "application/json"
+    headers: Mapping[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class StreamResponse:
+    """A response whose body is an async iterator of chunks (NDJSON)."""
+
+    status: int
+    chunks: AsyncIterator[bytes]
+    content_type: str = "application/x-ndjson"
+    headers: Mapping[str, str] = field(default_factory=dict)
+
+
+Handler = Callable[[Request], Awaitable["Response | StreamResponse"]]
+
+
+async def read_request(reader: asyncio.StreamReader, peer: str) -> Request:
+    """Parse one HTTP/1.1 request off ``reader`` or raise :class:`BadRequest`."""
+    try:
+        line = await reader.readuntil(b"\r\n")
+    except asyncio.LimitOverrunError as exc:
+        raise BadRequest("request line too long") from exc
+    except asyncio.IncompleteReadError as exc:
+        raise BadRequest("connection closed before a full request line") from exc
+    if len(line) > MAX_REQUEST_LINE:
+        raise BadRequest("request line too long")
+    parts = line.decode("latin-1").rstrip("\r\n").split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise BadRequest(f"malformed request line: {line!r}")
+    method, target, _version = parts
+    path = target.split("?", 1)[0]
+    headers: dict[str, str] = {}
+    total = 0
+    while True:
+        try:
+            raw = await reader.readuntil(b"\r\n")
+        except (asyncio.LimitOverrunError, asyncio.IncompleteReadError) as exc:
+            raise BadRequest("malformed headers") from exc
+        total += len(raw)
+        if total > MAX_HEADER_BYTES:
+            raise BadRequest("headers too large")
+        if raw == b"\r\n":
+            break
+        name, sep, value = raw.decode("latin-1").partition(":")
+        if not sep:
+            raise BadRequest(f"malformed header line: {raw!r}")
+        headers[name.strip().lower()] = value.strip()
+    body = b""
+    length = headers.get("content-length")
+    if length is not None:
+        try:
+            n = int(length)
+        except ValueError as exc:
+            raise BadRequest(f"bad Content-Length: {length!r}") from exc
+        if n < 0 or n > MAX_BODY_BYTES:
+            raise BadRequest(f"Content-Length out of range: {n}")
+        try:
+            body = await reader.readexactly(n)
+        except asyncio.IncompleteReadError as exc:
+            raise BadRequest("connection closed before the full body arrived") from exc
+    return Request(method=method, path=path, headers=headers, body=body, peer=peer)
+
+
+def _head(status: int, content_type: str, extra: Mapping[str, str], length: int | None) -> bytes:
+    reason = REASONS.get(status, "Unknown")
+    lines = [f"HTTP/1.1 {status} {reason}", f"Content-Type: {content_type}"]
+    if length is not None:
+        lines.append(f"Content-Length: {length}")
+    for name, value in extra.items():
+        lines.append(f"{name}: {value}")
+    lines.append("Connection: close")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+
+async def write_response(
+    writer: asyncio.StreamWriter, response: "Response | StreamResponse"
+) -> None:
+    """Serialize ``response`` onto ``writer`` (stream bodies end at EOF)."""
+    if isinstance(response, StreamResponse):
+        writer.write(
+            _head(response.status, response.content_type, response.headers, None)
+        )
+        await writer.drain()
+        async for chunk in response.chunks:
+            writer.write(chunk)
+            await writer.drain()
+        return
+    writer.write(
+        _head(
+            response.status,
+            response.content_type,
+            response.headers,
+            len(response.body),
+        )
+    )
+    writer.write(response.body)
+    await writer.drain()
+
+
+class HttpServer:
+    """One-request-per-connection HTTP server around an async handler."""
+
+    def __init__(self, handler: Handler, host: str = "127.0.0.1", port: int = 0) -> None:
+        """A server routing every request through ``handler``."""
+        self._handler = handler
+        self._host = host
+        self._port = port
+        self._server: asyncio.AbstractServer | None = None
+
+    async def start(self) -> tuple[str, int]:
+        """Bind and start serving; returns the bound ``(host, port)``."""
+        self._server = await asyncio.start_server(
+            self._serve_connection,
+            self._host,
+            self._port,
+            limit=MAX_HEADER_BYTES,
+        )
+        sock = self._server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        return host, port
+
+    async def close(self) -> None:
+        """Stop accepting connections and wait for the listener to close."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Read one request, hand it to the handler, write one response."""
+        peername = writer.get_extra_info("peername")
+        peer = f"{peername[0]}:{peername[1]}" if peername else "unknown"
+        try:
+            try:
+                request = await read_request(reader, peer)
+            except BadRequest as exc:
+                await write_response(
+                    writer,
+                    Response(400, (str(exc) + "\n").encode(), content_type="text/plain"),
+                )
+                return
+            try:
+                response = await self._handler(request)
+            except Exception as exc:  # noqa: BLE001 - surface as a 500, keep serving
+                response = Response(
+                    500,
+                    f"internal error: {type(exc).__name__}: {exc}\n".encode(),
+                    content_type="text/plain",
+                )
+            await write_response(writer, response)
+        except (ConnectionError, asyncio.CancelledError):
+            pass  # client went away mid-write; nothing to salvage
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass

@@ -1,0 +1,98 @@
+"""Per-client token-bucket rate limiting for job submission.
+
+One :class:`RateLimiter` holds an independent :class:`TokenBucket` per
+client key (the ``X-Client`` header, falling back to the peer address).
+Buckets refill continuously at ``rate`` tokens per second up to a
+``burst`` capacity; a submission costs one token, and a client that
+drains its bucket is told how long to wait (the service's 429 response
+and its ``Retry-After`` header).
+
+Determinism for tests: both classes take an injectable ``clock`` (any
+zero-argument callable returning seconds), so goldens can advance time
+explicitly instead of sleeping.  A ``rate`` of ``None`` or ``0``
+disables limiting entirely -- the default, matching every prior CLI
+behavior.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+
+class TokenBucket:
+    """One client's budget: ``burst`` capacity refilled at ``rate``/s."""
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        """A full bucket; ``rate`` tokens/s flow back in, up to ``burst``."""
+        if rate <= 0 or burst <= 0:
+            raise ValueError(
+                f"rate and burst must be positive, got rate={rate!r} burst={burst!r}"
+            )
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._stamp = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        self._tokens = min(self.burst, self._tokens + (now - self._stamp) * self.rate)
+        self._stamp = now
+
+    def acquire(self) -> float:
+        """Try to spend one token; returns 0.0 on success, else seconds to wait.
+
+        The wait is how long until one full token has refilled -- the
+        value the service surfaces as ``Retry-After``.
+        """
+        self._refill()
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return 0.0
+        return (1.0 - self._tokens) / self.rate
+
+
+class RateLimiter:
+    """Token buckets keyed by client id (see module docstring)."""
+
+    def __init__(
+        self,
+        rate: float | None,
+        burst: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        """A limiter granting ``rate`` submissions/s with ``burst`` headroom.
+
+        ``rate`` of ``None`` or ``0`` disables limiting; ``burst``
+        defaults to ``max(1, rate)`` so a fresh client can always submit
+        at least once immediately.
+        """
+        self.rate = float(rate) if rate else None
+        self.burst = float(burst) if burst else (max(1.0, self.rate) if self.rate else None)
+        self._clock = clock
+        self._buckets: dict[str, TokenBucket] = {}
+        self._lock = threading.Lock()
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any limiting applies at all."""
+        return self.rate is not None
+
+    def check(self, client: str) -> float:
+        """Charge ``client`` one submission; 0.0 if allowed, else seconds to wait."""
+        if self.rate is None:
+            return 0.0
+        with self._lock:
+            bucket = self._buckets.get(client)
+            if bucket is None:
+                bucket = self._buckets[client] = TokenBucket(
+                    self.rate, self.burst, clock=self._clock
+                )
+            return bucket.acquire()

@@ -1,0 +1,83 @@
+"""Drift test: ``docs/SERVICE.md`` must match a fresh render of the routes."""
+
+import importlib.util
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SCRIPT = REPO_ROOT / "scripts" / "gen_service_docs.py"
+DOC = REPO_ROOT / "docs" / "SERVICE.md"
+
+
+def _load_generator():
+    spec = importlib.util.spec_from_file_location("gen_service_docs", SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_checked_in_service_doc_is_current():
+    """A route change without `python scripts/gen_service_docs.py` fails here."""
+    gen = _load_generator()
+    assert DOC.exists(), f"missing {DOC}; run python {SCRIPT}"
+    assert DOC.read_text() == gen.render(), (
+        "docs/SERVICE.md is stale: regenerate with python scripts/gen_service_docs.py"
+    )
+
+
+def test_render_is_deterministic():
+    gen = _load_generator()
+    assert gen.render() == gen.render()
+
+
+def test_every_route_is_documented():
+    from repro.service.app import ROUTES
+
+    gen = _load_generator()
+    doc = gen.render()
+    assert ROUTES, "no routes discovered"
+    for route in ROUTES:
+        assert f"## `{route.method} {route.path}`" in doc
+
+
+def test_every_error_code_is_documented():
+    """Each route's error table lists every registered status code."""
+    from repro.service.app import ROUTES
+
+    doc = DOC.read_text()
+    for route in ROUTES:
+        for status, reason in route.errors.items():
+            assert f"| `{status}` |" in doc, (
+                f"error {status} of {route.method} {route.path} missing "
+                "from docs/SERVICE.md"
+            )
+
+
+def test_route_registry_matches_dispatch():
+    """Every registered route has a handler; no orphan handlers exist."""
+    from repro.service.app import ROUTES, CampaignService
+
+    for route in ROUTES:
+        assert hasattr(CampaignService, f"_handle_{route.name}"), (
+            f"route {route.name!r} has no CampaignService._handle_{route.name}"
+        )
+    registered = {f"_handle_{route.name}" for route in ROUTES}
+    orphans = [
+        name
+        for name in vars(CampaignService)
+        if name.startswith("_handle_") and name not in registered
+    ]
+    assert not orphans, f"handlers missing from ROUTES: {orphans}"
+
+
+def test_check_mode_detects_drift(tmp_path, capsys):
+    gen = _load_generator()
+    original = gen.OUTPUT
+    try:
+        gen.OUTPUT = tmp_path / "SERVICE.md"
+        assert gen.main(["--check"]) == 1  # missing file counts as stale
+        assert gen.main([]) == 0  # regenerate
+        assert gen.main(["--check"]) == 0
+        gen.OUTPUT.write_text("tampered")
+        assert gen.main(["--check"]) == 1
+    finally:
+        gen.OUTPUT = original
